@@ -1,0 +1,76 @@
+// Ablation A1 — mapper choice.
+//
+// MAPS (Sec. IV) maps "using optimization algorithms"; this ablation
+// quantifies what each layer buys: random placement, run-time dynamic
+// dispatch, HEFT list scheduling, and simulated-annealing refinement,
+// across three task-graph shapes.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "maps/mapping.hpp"
+#include "maps/partition.hpp"
+#include "maps/workloads.hpp"
+
+namespace {
+
+using namespace rw;
+using namespace rw::maps;
+
+TimePs random_mapping_makespan(const TaskGraph& g,
+                               const std::vector<PeDesc>& pes,
+                               const CommCost& comm, int tries,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  TimePs best = UINT64_MAX;
+  for (int i = 0; i < tries; ++i) {
+    std::vector<std::size_t> assign(g.tasks().size());
+    for (auto& a : assign) a = rng.next_below(pes.size());
+    best = std::min(best, evaluate_mapping(g, pes, comm, assign));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const auto comm = simple_comm_cost(nanoseconds(200), 0.004);
+  std::vector<PeDesc> pes{{sim::PeClass::kRisc, mhz(400)},
+                          {sim::PeClass::kRisc, mhz(400)},
+                          {sim::PeClass::kDsp, mhz(300)},
+                          {sim::PeClass::kDsp, mhz(300)}};
+
+  struct Workload {
+    const char* name;
+    TaskGraph graph;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"jpeg/6t", partition_program(jpeg_encoder_program(16), {6, 8.0})
+                      .graph});
+  workloads.push_back({"h264/4sl", h264_encoder_taskgraph(4)});
+  workloads.push_back(
+      {"mixed/8t", partition_program(mixed_kind_program(8), {8, 8.0})
+                       .graph});
+
+  std::printf("A1: mapping-algorithm ablation on 2xRISC + 2xDSP\n");
+  Table t({"workload", "random best-of-50", "dynamic", "HEFT",
+           "HEFT+anneal", "anneal gain vs random"});
+  for (const auto& w : workloads) {
+    const TimePs rnd = random_mapping_makespan(w.graph, pes, comm, 50, 7);
+    const TimePs dyn = dynamic_schedule(w.graph, pes, comm).makespan;
+    const TimePs heft = heft_map(w.graph, pes, comm).makespan;
+    const TimePs ann = anneal_map(w.graph, pes, comm, 3, 2000).makespan;
+    t.add_row({w.name, format_time(rnd), format_time(dyn),
+               format_time(heft), format_time(ann),
+               Table::num(static_cast<double>(rnd) /
+                          static_cast<double>(ann)) + "x"});
+  }
+  t.print("makespan by mapper");
+  std::printf("expected shape: HEFT/anneal at or below every alternative "
+              "(anneal starts from\nHEFT, so it can only improve); dynamic "
+              "pays for its lack of lookahead; random\nneeds dozens of "
+              "tries to get close on small graphs and falls behind on "
+              "bigger ones.\n");
+  return 0;
+}

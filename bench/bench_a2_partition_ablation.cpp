@@ -1,0 +1,49 @@
+// Ablation A2 — partitioner communication weight.
+//
+// The MAPS-style clusterer trades load balance against cut bytes via
+// `comm_weight` (cycles charged per byte crossing a cut). This sweep
+// justifies the library default: too low and pipeline stages smear across
+// clusters (serializing chains appear); too high and load balance decays.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "maps/mapping.hpp"
+#include "maps/partition.hpp"
+#include "maps/workloads.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::maps;
+
+  const auto prog = jpeg_encoder_program(16);
+  const auto comm = simple_comm_cost(nanoseconds(200), 0.004);
+  const std::vector<PeDesc> pes(8, PeDesc{sim::PeClass::kRisc, mhz(400)});
+
+  std::printf("A2: partitioner comm-weight sweep (JPEG-like, 8 tasks, "
+              "8 PEs)\n");
+  Table t({"comm weight", "tasks", "cut bytes", "max/min task load",
+           "HEFT speedup"});
+  for (const double w : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    const auto part = partition_program(prog, {8, w});
+    Cycles max_t = 0, min_t = UINT64_MAX;
+    for (const auto& task : part.graph.tasks()) {
+      max_t = std::max(max_t, task.ref_cycles);
+      min_t = std::min(min_t, task.ref_cycles);
+    }
+    const auto m = heft_map(part.graph, pes, comm);
+    const TimePs seq = best_sequential_time(part.graph, pes);
+    t.add_row({Table::num(w, 1),
+               Table::num(static_cast<std::uint64_t>(
+                   part.graph.tasks().size())),
+               Table::num(part.cut_bytes),
+               Table::num(static_cast<double>(max_t) /
+                          static_cast<double>(std::max<Cycles>(min_t, 1))),
+               Table::num(m.speedup_vs(seq))});
+  }
+  t.print("effect of pricing communication");
+  std::printf("expected shape: cut bytes fall as the weight rises; speedup "
+              "peaks in the\nmid-range (the library default, 8) where "
+              "pipelines stay intact but load still\nbalances — the ends "
+              "of the sweep lose to smeared stages or to imbalance.\n");
+  return 0;
+}

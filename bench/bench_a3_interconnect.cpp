@@ -1,0 +1,50 @@
+// Ablation A3 — interconnect choice under scaling traffic.
+//
+// Sec. II-A demands a "scalable, fast and low-latency chip interconnect";
+// the shared bus is the canonical centralized construct, the mesh the
+// distributed one. All-to-neighbour traffic at growing core counts shows
+// where the bus stops scaling.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/interconnect.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::sim;
+
+  std::printf("A3: shared bus vs 2-D mesh under neighbour traffic\n");
+  Table t({"cores", "bus: total time", "bus contention", "mesh: total time",
+           "mesh contention"});
+
+  for (const std::uint32_t n : {4u, 16u, 64u}) {
+    const std::uint32_t side = n == 4 ? 2 : (n == 16 ? 4 : 8);
+
+    Kernel kb;
+    SharedBus bus(kb, SharedBus::Config{mhz(200), 8, 4});
+    Kernel km;
+    MeshNoc mesh(km,
+                 MeshNoc::Config{side, side, nanoseconds(5), mhz(500), 4});
+
+    // Every core sends 1 KiB to its +1 neighbour, all at t=0.
+    TimePs bus_done = 0, mesh_done = 0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      const CoreId src{c};
+      const CoreId dst{(c + 1) % n};
+      bus_done = std::max(bus_done,
+                          bus.reserve_transfer(src, dst, 1024, 0).second);
+      mesh_done = std::max(mesh_done,
+                           mesh.reserve_transfer(src, dst, 1024, 0).second);
+    }
+    t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+               format_time(bus_done), format_time(bus.total_contention()),
+               format_time(mesh_done),
+               format_time(mesh.total_contention())});
+  }
+  t.print("1 KiB per core to its neighbour, all simultaneously");
+  std::printf("expected shape: bus completion time grows linearly with core "
+              "count (every\ntransfer serializes); the mesh's stays nearly "
+              "flat — neighbour links are\ndisjoint. This is Sec. II-A's "
+              "scalability argument in one table.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation A4 — the multi-application scenario (the MVP evaluation role,
+// Sec. IV): a hard-RT radio stack plus a growing population of soft and
+// best-effort apps competing for one terminal. Static reservation for the
+// hard app must hold its deadlines at any load; the best-effort tier
+// absorbs the overload.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "maps/multiapp.hpp"
+#include "maps/workloads.hpp"
+
+namespace {
+
+using namespace rw;
+using namespace rw::maps;
+
+TaskGraph pipeline_app(const std::string& name, Cycles stage,
+                       DurationPs period, sched::Criticality crit) {
+  TaskGraph g;
+  g.name = name;
+  const auto a = g.add_task(name + "_rx", stage / 2);
+  const auto b = g.add_task(name + "_proc", stage);
+  const auto c = g.add_task(name + "_tx", stage / 2);
+  g.add_edge(a, b, 512);
+  g.add_edge(b, c, 512);
+  g.annotation.period = period;
+  g.annotation.criticality = crit;
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  MultiAppConfig cfg;
+  cfg.pes = {PeDesc{sim::PeClass::kRisc, mhz(400)},
+             PeDesc{sim::PeClass::kRisc, mhz(400)},
+             PeDesc{sim::PeClass::kDsp, mhz(300)},
+             PeDesc{sim::PeClass::kDsp, mhz(300)}};
+  cfg.comm = simple_comm_cost(nanoseconds(150), 0.004);
+  cfg.horizon = milliseconds(64);
+
+  std::printf("A4: multi-application load sweep on a 4-PE terminal\n");
+  Table t({"soft+BE apps", "hard misses", "hard worst latency",
+           "soft worst latency", "BE worst latency", "PE util"});
+
+  for (const int extra : {0, 1, 2, 4, 6, 8}) {
+    std::vector<TaskGraph> apps;
+    apps.push_back(pipeline_app("radio", 160'000, milliseconds(1),
+                                sched::Criticality::kHard));
+    for (int i = 0; i < extra; ++i) {
+      apps.push_back(pipeline_app(
+          rw::strformat("app%d", i), 400'000, milliseconds(4),
+          i % 2 == 0 ? sched::Criticality::kSoft
+                     : sched::Criticality::kBestEffort));
+    }
+    const auto r = simulate_multiapp(apps, cfg);
+
+    DurationPs soft_worst = 0, be_worst = 0;
+    for (const auto& a : r.apps) {
+      if (a.criticality == sched::Criticality::kSoft)
+        soft_worst = std::max(soft_worst, a.worst_latency);
+      if (a.criticality == sched::Criticality::kBestEffort)
+        be_worst = std::max(be_worst, a.worst_latency);
+    }
+    t.add_row({Table::num(static_cast<std::uint64_t>(extra)),
+               Table::num(r.hard_misses()),
+               format_time(r.apps[0].worst_latency),
+               extra > 0 ? format_time(soft_worst) : "-",
+               extra > 1 ? format_time(be_worst) : "-",
+               Table::percent(r.pe_utilization)});
+  }
+  t.print("hard radio stack + growing soft/best-effort population");
+  std::printf("expected shape: hard misses stay 0 and its latency nearly "
+              "flat at every load\n(static reservation); soft latencies "
+              "grow moderately, best-effort absorbs the\nrest — Sec. IV's "
+              "static-for-hard / dynamic-best-effort split.\n");
+  return 0;
+}

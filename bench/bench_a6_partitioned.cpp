@@ -1,0 +1,68 @@
+// Ablation A6 — partitioned RT scheduling heuristics.
+//
+// Sec. II's locality argument implies partitioned (never-migrate)
+// scheduling for sequential RT tasks; the open choice is the packing
+// heuristic and the per-core test. This sweep measures cores needed by
+// each combination over randomized task sets — the provisioning answer a
+// platform architect actually needs.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sched/partitioned.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::sched;
+
+  std::printf("A6: partitioned-scheduling heuristics, 40 random task sets "
+              "each\n");
+  Table t({"total U", "FF cores", "FFD cores", "BF cores", "WF cores",
+           "FFD+RTA cores"});
+
+  Rng rng(2026);
+  for (const double target_u : {2.0, 3.0, 4.0, 6.0}) {
+    double ff = 0, ffd = 0, bf = 0, wf = 0, ffd_rta = 0;
+    int runs = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      // Random set summing to ~target_u.
+      std::vector<RtTask> tasks;
+      double u = 0;
+      int i = 0;
+      while (u < target_u) {
+        const double ui = 0.05 + rng.next_double() * 0.5;
+        const DurationPs period =
+            milliseconds(static_cast<std::uint64_t>(rng.next_int(2, 50)));
+        RtTask task;
+        task.name = "t" + std::to_string(i++);
+        task.period = period;
+        task.wcet = static_cast<Cycles>(ui * static_cast<double>(period) /
+                                        1e12 * mhz(100));
+        tasks.push_back(task);
+        u += ui;
+      }
+      auto count = [&](PackingHeuristic h, PerCoreTest test) {
+        const auto n = min_cores_needed(tasks, mhz(100), h, 64, test);
+        return n ? static_cast<double>(*n) : 64.0;
+      };
+      ff += count(PackingHeuristic::kFirstFit, PerCoreTest::kEdfDensity);
+      ffd += count(PackingHeuristic::kFirstFitDecreasing,
+                   PerCoreTest::kEdfDensity);
+      bf += count(PackingHeuristic::kBestFit, PerCoreTest::kEdfDensity);
+      wf += count(PackingHeuristic::kWorstFit, PerCoreTest::kEdfDensity);
+      ffd_rta += count(PackingHeuristic::kFirstFitDecreasing,
+                       PerCoreTest::kResponseTime);
+      ++runs;
+    }
+    t.add_row({Table::num(target_u, 1), Table::num(ff / runs),
+               Table::num(ffd / runs), Table::num(bf / runs),
+               Table::num(wf / runs), Table::num(ffd_rta / runs)});
+  }
+  t.print("mean cores needed (EDF per-core test unless noted)");
+  std::printf("expected shape: FFD <= FF <= WF under EDF (decreasing order "
+              "defuses the\nbin-packing traps); the exact-but-fixed-priority "
+              "RTA column needs slightly more\ncores than EDF — the price "
+              "of fixed priorities.\n");
+  return 0;
+}

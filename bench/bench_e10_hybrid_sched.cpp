@@ -1,0 +1,131 @@
+// E10 — Sec. II-B: "there is a need for scheduling algorithms that can in
+// a reactive way mitigate multiple requests for parallel computing
+// resources as well [as] sequential computing resources ... a predictable
+// approach shall be designed, that can meet application dead-line
+// requirements. To the best of our knowledge, no such algorithm has been
+// published yet." — plus Sec. IV's concurrency graph for worst-case load.
+//
+// Shape to reproduce: the hybrid scheduler admits hard-RT sets up to the
+// analysis-certified capacity of its time-shared cores (admitted sets
+// never miss in simulation); the reactive pool keeps interactive response
+// low under rising batch load; and the concurrency graph sizes the
+// platform for the worst legal application mix.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "maps/concurrency.hpp"
+#include "sched/hybrid.hpp"
+#include "sched/uniproc.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::sched;
+
+  // --- part 1: predictable hard-RT admission ---
+  std::printf("E10: hybrid time-shared/space-shared reactive scheduling\n");
+  {
+    HybridConfig cfg;
+    cfg.time_shared_cores = 2;
+    HybridScheduler os(cfg);
+    Table t({"arriving RT set", "admitted?", "core", "frequency",
+             "sim misses"});
+    int admitted_count = 0;
+    for (int i = 0; i < 8; ++i) {
+      TaskSet ts;
+      ts.add("rt" + std::to_string(i), 900'000,
+             milliseconds(2 + (i % 3)));  // ~0.9Mcycles every 2-4 ms
+      const auto adm = os.admit_rt(ts);
+      std::string misses = "-";
+      if (adm.admitted) {
+        ++admitted_count;
+        TaskSet merged = os.rt_cores()[adm.core];
+        merged.frequency = os.rt_frequencies()[adm.core];
+        assign_dm_priorities(merged);
+        const auto sim = simulate_uniproc(merged, milliseconds(120),
+                                          {Policy::kFixedPriority, 200});
+        misses = Table::num(sim.total_misses());
+      }
+      t.add_row({"rt" + std::to_string(i),
+                 adm.admitted ? "yes" : "REJECTED",
+                 adm.admitted ? Table::num(static_cast<std::uint64_t>(
+                                    adm.core))
+                              : "-",
+                 adm.admitted ? format_hz(adm.frequency) : "-", misses});
+    }
+    t.print("admission control (2 time-shared cores, DVFS ladder)");
+    std::printf("admitted %d/8; every admitted row must show 0 misses "
+                "(predictability).\n\n", admitted_count);
+  }
+
+  // --- part 2: reactive pool under rising load ---
+  {
+    Table t({"batch jobs", "batch mean response", "interactive response",
+             "pool util"});
+    for (const int batch : {1, 2, 4, 8, 16}) {
+      HybridConfig cfg;
+      cfg.pool_cores = 16;
+      HybridScheduler os(cfg);
+      std::vector<HybridScheduler::GangArrival> arr;
+      for (int b = 0; b < batch; ++b) {
+        HybridScheduler::GangArrival a;
+        a.app.name = "batch" + std::to_string(b);
+        a.app.total_work = 200'000'000;
+        a.app.serial_fraction = 0.05;
+        a.arrival = 0;
+        arr.push_back(a);
+      }
+      HybridScheduler::GangArrival inter;
+      inter.app.name = "interactive";
+      inter.app.total_work = 4'000'000;
+      inter.app.serial_fraction = 0.0;
+      inter.arrival = milliseconds(5);
+      arr.push_back(inter);
+
+      const auto r = os.run_pool(arr);
+      double batch_sum = 0;
+      DurationPs inter_resp = 0;
+      for (const auto& a : r.pool_apps) {
+        if (a.name == "interactive") {
+          inter_resp = a.response();
+        } else {
+          batch_sum += static_cast<double>(a.response());
+        }
+      }
+      t.add_row({Table::num(static_cast<std::uint64_t>(batch)),
+                 format_time(static_cast<TimePs>(batch_sum / batch)),
+                 format_time(inter_resp),
+                 Table::percent(r.pool_utilization)});
+    }
+    t.print("reactive equipartition: interactive job vs batch load");
+  }
+
+  // --- part 3: concurrency-graph provisioning (Sec. IV) ---
+  {
+    maps::ConcurrencyGraph cg;
+    const auto mp3 = cg.add_app("mp3", 0.2);
+    const auto call = cg.add_app("voice_call", 0.6);
+    const auto video = cg.add_app("video_rec", 1.4);
+    const auto browser = cg.add_app("browser", 0.8);
+    const auto sync = cg.add_app("bg_sync", 0.3);
+    cg.add_conflict(mp3, browser);
+    cg.add_conflict(mp3, sync);
+    cg.add_conflict(call, sync);
+    cg.add_conflict(video, sync);
+    cg.add_conflict(browser, sync);
+    cg.add_conflict(call, browser);
+    const auto wc = cg.worst_case_load();
+    std::printf("concurrency graph: worst-case load %.2f from clique {",
+                wc.load);
+    for (const auto i : wc.clique)
+      std::printf(" %s", cg.apps()[i].name.c_str());
+    std::printf(" } -> %zu cores needed at U=0.7 each\n",
+                cg.cores_needed(0.7));
+  }
+
+  std::printf("\nexpected shape: admission fills both cores then rejects; "
+              "interactive response\nstays near its 16-core lower bound "
+              "while batch responses stretch; provisioning\nfollows the "
+              "heaviest legal clique, not the sum of all apps.\n");
+  return 0;
+}

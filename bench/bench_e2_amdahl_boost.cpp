@@ -1,0 +1,48 @@
+// E2 — Sec. II-A: "there is a need to boost the performance of individual
+// cores in order to achieve higher execution speed for sequential code
+// ... the frequency at which each core executes shall be modifiable".
+//
+// Shape to reproduce: for an Amdahl-limited application the speedup curve
+// saturates at 1/s; boosting the serial phase's core raises the ceiling
+// roughly by the boost factor (at quadratic energy cost per cycle).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/strings.hpp"
+#include "sched/dvfs.hpp"
+#include "sched/task.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::sched;
+
+  std::printf("E2: Amdahl's law with serial-phase frequency boosting\n");
+
+  for (const double serial : {0.05, 0.20, 0.50}) {
+    ParallelApp app;
+    app.total_work = 100'000'000;
+    app.serial_fraction = serial;
+
+    Table t({"cores", "speedup (no boost)", "speedup (2x boost)",
+             "speedup (4x boost)"});
+    for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+      t.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                 Table::num(app.speedup(n, 1.0)),
+                 Table::num(app.speedup(n, 2.0)),
+                 Table::num(app.speedup(n, 4.0))});
+    }
+    t.print(strformat("serial fraction %.0f%%", serial * 100));
+  }
+
+  Table e({"boost", "energy/cycle vs nominal"});
+  for (const double b : {1.0, 2.0, 4.0})
+    e.add_row({Table::num(b, 1),
+               Table::num(relative_energy_per_cycle(
+                   static_cast<HertzT>(mhz(400) * b), mhz(400)))});
+  e.print("the price: energy per cycle grows quadratically with boost");
+
+  std::printf("expected shape: unboosted curves saturate at 1/s "
+              "(20x, 5x, 2x); boosting\nthe serial phase multiplies the "
+              "asymptote by roughly the boost factor.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E3 — Sec. III: "data is not necessarily corrupted in case the execution
+// time of a task exceeds an unreliable worst-case execution time estimate
+// ... In a time-driven system, the data is corrupted in this situation."
+//
+// Shape to reproduce: sweeping the probability and magnitude of WCET
+// overruns, the time-triggered executor's internal corruption count grows
+// with overload while the data-driven executor's stays exactly zero; its
+// overload shows up only as source drops / sink underruns (where the
+// paper says applications are robust).
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dataflow/buffers.hpp"
+#include "dataflow/executor.hpp"
+
+namespace {
+
+rw::dataflow::Graph car_radio() {
+  using namespace rw::dataflow;
+  Graph g;
+  const auto src = g.add_actor("src", 800, 0);
+  const auto a = g.add_actor("demod", 20'000, 1);
+  const auto b = g.add_actor("fir", 16'000, 2);
+  const auto c = g.add_actor("agc", 8'000, 3);
+  const auto snk = g.add_actor("snk", 800, 0);
+  g.connect(src, a, 1, 1);
+  g.connect(a, b, 1, 1);
+  g.connect(b, c, 1, 1);
+  g.connect(c, snk, 1, 1);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rw;
+  using namespace rw::dataflow;
+
+  const Graph g = car_radio();
+  ExecConfig cfg;
+  cfg.frequency = mhz(400);
+  cfg.num_cores = 4;
+  cfg.source_period = microseconds(90);
+  cfg.iterations = 400;
+  cfg.buffer_capacities = compute_buffer_capacities(g, cfg).capacities;
+
+  std::printf("E3: corruption under WCET-estimate violations "
+              "(overrun = 3x WCET)\n");
+  Table t({"overrun prob", "TT stale reads", "TT overwrites",
+           "DD internal corrupt", "DD src drops", "DD sink underruns"});
+
+  for (const double prob :
+       {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    auto acet_for = [prob](std::uint64_t seed) -> ActorAcet {
+      auto rng = std::make_shared<Rng>(seed);
+      return [rng, prob](const Actor& a, std::uint64_t, Cycles wcet) {
+        if (a.name == "src" || a.name == "snk") return wcet;
+        return rng->next_bool(prob) ? wcet * 3 : wcet;
+      };
+    };
+    ExecConfig tt = cfg;
+    tt.acet = acet_for(1234);
+    const auto rt = run_time_triggered(g, tt);
+    ExecConfig dd = cfg;
+    dd.acet = acet_for(1234);
+    const auto rd = run_data_driven(g, dd);
+
+    t.add_row({Table::percent(prob, 0), Table::num(rt.stale_reads),
+               Table::num(rt.overwrites),
+               Table::num(rd.internal_corruptions()),
+               Table::num(rd.source_drops), Table::num(rd.sink_underruns)});
+  }
+  t.print("time-triggered vs data-driven, 400 iterations");
+  std::printf("expected shape: TT corruption grows from 0 with the overrun "
+              "rate; DD internal\ncorruption is identically 0 — failures "
+              "move to the robust source/sink boundary.\n");
+  return 0;
+}

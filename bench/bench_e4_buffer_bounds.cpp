@@ -1,0 +1,87 @@
+// E4 — Sec. III: "it is sufficient to show at design time that a valid
+// schedule exists such that the periodic source and sink task can execute
+// wait-free" (back-pressure buffer sizing, Wiggers et al. [5]); and
+// "data-driven systems can execute tasks aperiodically, while satisfying
+// timing constraints".
+//
+// Shape to reproduce: (a) tightening the source period raises the buffer
+// capacities the analysis needs until the period becomes unsustainable;
+// (b) with the computed capacities, sources and sinks run wait-free even
+// under heavy (bounded) execution-time jitter.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dataflow/buffers.hpp"
+#include "dataflow/executor.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::dataflow;
+
+  // Imbalanced chain with *shared* PEs: the decoder and postfilter
+  // time-share core 1, so at tight periods the chain needs decoupling
+  // buffers to ride out the core's busy bursts (this is exactly where the
+  // back-pressure analysis earns its keep).
+  Graph g;
+  const auto src = g.add_actor("src", 500, 0);
+  const auto dec = g.add_actor("slow_dec", 30'000, 1);
+  const auto post = g.add_actor("post", 6'000, 1);  // shares core 1!
+  const auto snk = g.add_actor("snk", 0, 0);
+  g.connect(src, dec, 1, 1);
+  g.connect(dec, post, 1, 1);
+  g.connect(post, snk, 1, 1);
+
+  std::printf("E4: back-pressure buffer capacities vs source period\n");
+  Table t({"period", "wait-free?", "cap(src->dec)", "cap(dec->post)",
+           "cap(post->snk)", "total tokens"});
+  for (const std::uint64_t period_us : {200u, 150u, 120u, 105u, 95u, 92u,
+                                        89u}) {
+    ExecConfig cfg;
+    cfg.frequency = mhz(400);
+    cfg.num_cores = 2;
+    cfg.source_period = microseconds(period_us);
+    const auto sizing = compute_buffer_capacities(g, cfg);
+    t.add_row({format_time(cfg.source_period),
+               sizing.wait_free ? "yes" : "NO",
+               Table::num(static_cast<std::uint64_t>(sizing.capacities[0])),
+               Table::num(static_cast<std::uint64_t>(sizing.capacities[1])),
+               Table::num(static_cast<std::uint64_t>(sizing.capacities[2])),
+               Table::num(static_cast<std::uint64_t>(sizing.total_tokens))});
+  }
+  t.print("design-time analysis");
+
+  // Aperiodic execution under the computed bounds.
+  ExecConfig cfg;
+  cfg.frequency = mhz(400);
+  cfg.num_cores = 2;
+  cfg.source_period = microseconds(95);
+  cfg.iterations = 500;
+  const auto sizing = compute_buffer_capacities(g, cfg);
+  cfg.buffer_capacities = sizing.capacities;
+  auto rng = std::make_shared<Rng>(7);
+  cfg.acet = [rng](const Actor& a, std::uint64_t, Cycles wcet) {
+    if (a.name == "src" || a.name == "snk") return wcet;
+    // Anywhere from 20% to 100% of WCET: aggressively aperiodic.
+    return std::max<Cycles>(1, wcet / 5 + rng->next_below(wcet * 4 / 5));
+  };
+  const auto r = run_data_driven(g, cfg);
+
+  Table v({"metric", "value"});
+  v.add_row({"iterations", Table::num(cfg.iterations)});
+  v.add_row({"source drops", Table::num(r.source_drops)});
+  v.add_row({"sink underruns", Table::num(r.sink_underruns)});
+  v.add_row({"internal corruptions", Table::num(r.internal_corruptions())});
+  v.add_row({"sink throughput", Table::num(r.sink_throughput_hz(), 0) +
+                                   " Hz"});
+  v.print("validation: aperiodic run under the computed capacities");
+  std::printf("expected shape: while the period is sustainable the minimal "
+              "capacities sit at the\nstructural bound (back-pressure keeps "
+              "them from growing); at the utilization\ncliff the analysis "
+              "reports the period unsustainable — 'showing at design time\n"
+              "that a valid schedule exists' — and the validated aperiodic "
+              "run is wait-free\n(0 drops, 0 underruns) despite heavy "
+              "execution-time variation.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E5 — Sec. IV: "Initial case studies on partitioning applications like
+// JPEG encoder indicate promising speedup results with considerably
+// reduced manual parallelization efforts."
+//
+// Shape to reproduce: the MAPS-style semi-automatic partition of the
+// JPEG-like encoder approaches the critical-path speedup bound as PEs are
+// added, while the sequential baseline stays at 1x; the Amdahl tail
+// (serial Huffman stage) caps the curve. The heterogeneous row shows PE
+// preference exploitation (DSP-friendly stages land on DSPs).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "maps/mapping.hpp"
+#include "maps/partition.hpp"
+#include "maps/workloads.hpp"
+#include "sim/platform.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::maps;
+
+  const SeqProgram jpeg = jpeg_encoder_program(16);
+  std::printf("E5: MAPS partitioning of a JPEG-like encoder "
+              "(%zu statements, ideal speedup %.2fx)\n",
+              jpeg.stmts().size(), jpeg.ideal_speedup());
+
+  const auto comm = simple_comm_cost(nanoseconds(200), 0.004);
+
+  Table t({"PEs", "partition tasks", "HEFT speedup", "anneal speedup",
+           "bound", "platform-validated"});
+  for (const std::size_t pes_n : {1u, 2u, 4u, 6u, 8u}) {
+    const PartitionResult part =
+        partition_program(jpeg, {pes_n == 1 ? 1 : pes_n, 8.0});
+    const std::vector<PeDesc> pes(pes_n,
+                                  PeDesc{sim::PeClass::kRisc, mhz(400)});
+    const auto heft = heft_map(part.graph, pes, comm);
+    const auto ann = anneal_map(part.graph, pes, comm, 3, 1200);
+    const TimePs seq = best_sequential_time(part.graph, pes);
+
+    sim::Platform platform(
+        sim::PlatformConfig::homogeneous(pes_n, mhz(400)));
+    const TimePs measured =
+        execute_on_platform(part.graph, ann.task_to_pe, platform);
+
+    t.add_row({Table::num(static_cast<std::uint64_t>(pes_n)),
+               Table::num(static_cast<std::uint64_t>(
+                   part.graph.tasks().size())),
+               Table::num(heft.speedup_vs(seq)),
+               Table::num(ann.speedup_vs(seq)),
+               Table::num(part.bound_speedup(pes_n)),
+               Table::num(static_cast<double>(seq) /
+                          static_cast<double>(measured))});
+  }
+  t.print("homogeneous RISC platform");
+
+  // Heterogeneity: same app on 2 RISC + 4 DSP exploits DSP-friendly tasks.
+  {
+    const PartitionResult part = partition_program(jpeg, {6, 8.0});
+    std::vector<PeDesc> het{{sim::PeClass::kRisc, mhz(400)},
+                            {sim::PeClass::kRisc, mhz(400)},
+                            {sim::PeClass::kDsp, mhz(300)},
+                            {sim::PeClass::kDsp, mhz(300)},
+                            {sim::PeClass::kDsp, mhz(300)},
+                            {sim::PeClass::kDsp, mhz(300)}};
+    std::vector<PeDesc> hom(6, PeDesc{sim::PeClass::kRisc, mhz(400)});
+    const auto mhet = heft_map(part.graph, het, comm);
+    const auto mhom = heft_map(part.graph, hom, comm);
+    Table h({"platform", "makespan"});
+    h.add_row({"6x RISC@400", format_time(mhom.makespan)});
+    h.add_row({"2x RISC@400 + 4x DSP@300", format_time(mhet.makespan)});
+    h.print("heterogeneous mapping (DCT/quant are DSP kernels)");
+  }
+
+  std::printf("expected shape: speedup climbs with PEs toward the bound, "
+              "capped by the serial\nHuffman tail; the DSP platform beats "
+              "the same-size RISC one despite lower clocks.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// E6 — Sec. IV: "Early evaluation case studies exhibited great potential
+// of the OSIP approach in lowering the task-switching overhead, compared
+// to an additional RISC performing scheduling in a typical MPSoC
+// environment" — enabling "higher PE utilization via more fine-grained
+// tasks".
+//
+// Shape to reproduce: sweeping task grain downward, PE utilization under
+// the RISC software scheduler collapses once its dispatch rate saturates,
+// while OSIP keeps the PEs busy one to two orders of magnitude deeper
+// into fine-grained territory.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "maps/osip.hpp"
+
+int main() {
+  using namespace rw;
+  using namespace rw::maps;
+
+  const std::size_t kPes = 8;
+  const std::uint64_t kTasks = 4000;
+  const HertzT kFreq = mhz(400);
+
+  std::printf("E6: OSIP vs RISC dispatcher, %llu tasks on %zu PEs\n",
+              static_cast<unsigned long long>(kTasks), kPes);
+
+  Table t({"grain (cycles)", "RISC util", "RISC overhead", "OSIP util",
+           "OSIP overhead", "OSIP makespan gain"});
+  for (const Cycles grain :
+       {100'000u, 20'000u, 5'000u, 2'000u, 1'000u, 500u, 200u, 100u}) {
+    const auto r =
+        simulate_dispatch(kTasks, grain, kPes, kFreq, risc_dispatcher());
+    const auto o =
+        simulate_dispatch(kTasks, grain, kPes, kFreq, osip_dispatcher());
+    t.add_row({Table::num(static_cast<std::uint64_t>(grain)),
+               Table::percent(r.pe_utilization),
+               Table::percent(r.dispatch_overhead),
+               Table::percent(o.pe_utilization),
+               Table::percent(o.dispatch_overhead),
+               Table::num(static_cast<double>(r.makespan) /
+                          static_cast<double>(o.makespan)) + "x"});
+  }
+  t.print("task-grain sweep");
+
+  std::printf("expected shape: both fine at coarse grain; as the grain "
+              "shrinks below the RISC\ndispatch latency (~1200 cycles x "
+              "%zu PEs), RISC utilization collapses while OSIP\nsustains "
+              "it — the 'more fine-grained tasks' the paper promises.\n",
+              kPes);
+  return 0;
+}

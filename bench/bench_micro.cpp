@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark): the hot paths of the toolkit.
+// These are engineering benchmarks, not paper experiments — they guard
+// the simulator's own performance so the experiment sweeps stay fast.
+#include <benchmark/benchmark.h>
+
+#include "dataflow/executor.hpp"
+#include "maps/mapping.hpp"
+#include "maps/partition.hpp"
+#include "maps/workloads.hpp"
+#include "recoder/interp.hpp"
+#include "recoder/parser.hpp"
+#include "sched/analysis.hpp"
+#include "sched/uniproc.hpp"
+#include "sim/channel.hpp"
+#include "sim/kernel.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using namespace rw;
+
+void BM_KernelEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel k;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) k.schedule_in(10, tick);
+    };
+    k.schedule_at(0, tick);
+    k.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_KernelEventThroughput);
+
+sim::Process bench_producer(sim::Kernel& k, sim::Channel<int>& ch, int n) {
+  for (int i = 0; i < n; ++i) co_await ch.send(i);
+  (void)k;
+}
+sim::Process bench_consumer(sim::Channel<int>& ch, int n, int& sink) {
+  for (int i = 0; i < n; ++i) sink += co_await ch.recv();
+}
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Kernel k;
+    sim::Channel<int> ch(k, 4);
+    int sink = 0;
+    sim::spawn(k, bench_producer(k, ch, 5000));
+    sim::spawn(k, bench_consumer(ch, 5000, sink));
+    k.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  sched::TaskSet ts;
+  ts.frequency = mhz(200);
+  for (int i = 0; i < 12; ++i)
+    ts.add("t" + std::to_string(i), 50'000 + i * 10'000,
+           milliseconds(2 + i));
+  sched::assign_rm_priorities(ts);
+  for (auto _ : state) {
+    auto r = sched::response_time_analysis(ts, 200);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ResponseTimeAnalysis);
+
+void BM_UniprocSimulation(benchmark::State& state) {
+  sched::TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("a", 100'000, milliseconds(4));
+  ts.add("b", 200'000, milliseconds(6));
+  ts.add("c", 300'000, milliseconds(12));
+  for (auto _ : state) {
+    auto r = sched::simulate_uniproc(ts, milliseconds(240),
+                                     {sched::Policy::kEdf});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_UniprocSimulation);
+
+void BM_DataflowExecution(benchmark::State& state) {
+  dataflow::Graph g;
+  const auto a = g.add_actor("src", 500, 0);
+  const auto b = g.add_actor("f1", 10'000, 1);
+  const auto c = g.add_actor("f2", 10'000, 2);
+  const auto d = g.add_actor("snk", 500, 3);
+  g.connect(a, b, 1, 1);
+  g.connect(b, c, 1, 1);
+  g.connect(c, d, 1, 1);
+  dataflow::ExecConfig cfg;
+  cfg.num_cores = 4;
+  cfg.source_period = microseconds(50);
+  cfg.iterations = 200;
+  for (auto _ : state) {
+    auto r = dataflow::run_data_driven(g, cfg);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_DataflowExecution);
+
+void BM_JpegPartition(benchmark::State& state) {
+  const auto prog = maps::jpeg_encoder_program(16);
+  for (auto _ : state) {
+    auto r = maps::partition_program(prog, {6, 1.0});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_JpegPartition);
+
+void BM_HeftMapping(benchmark::State& state) {
+  const auto part =
+      maps::partition_program(maps::jpeg_encoder_program(16), {8, 1.0});
+  const std::vector<maps::PeDesc> pes(
+      8, maps::PeDesc{sim::PeClass::kRisc, mhz(400)});
+  const auto comm = maps::simple_comm_cost(nanoseconds(200), 0.004);
+  for (auto _ : state) {
+    auto r = maps::heft_map(part.graph, pes, comm);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HeftMapping);
+
+void BM_MiniCParse(benchmark::State& state) {
+  std::string src;
+  for (int i = 0; i < 50; ++i)
+    src += "int f" + std::to_string(i) +
+           "(int x) { int s = 0; for (int i = 0; i < 10; i = i + 1) "
+           "{ s = s + x * i; } return s; }\n";
+  for (auto _ : state) {
+    auto r = recoder::parse_program(src);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_MiniCParse);
+
+void BM_MiniCInterpret(benchmark::State& state) {
+  auto p = recoder::parse_program(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(15); })");
+  for (auto _ : state) {
+    auto r = recoder::interpret(p.value());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MiniCInterpret);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,176 @@
+#include "cic/archfile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/xml.hpp"
+
+namespace rw::cic {
+
+const char* memory_style_name(MemoryStyle s) {
+  switch (s) {
+    case MemoryStyle::kDistributed: return "distributed";
+    case MemoryStyle::kShared: return "shared";
+  }
+  return "?";
+}
+
+ArchInfo ArchInfo::cell_like(std::size_t spes) {
+  ArchInfo a;
+  a.name = "cellish";
+  a.style = MemoryStyle::kDistributed;
+  a.platform.cores.push_back(
+      {sim::PeClass::kRisc, mhz(800), 64 * 1024});  // PPE-ish control core
+  for (std::size_t i = 0; i < spes; ++i)
+    a.platform.cores.push_back({sim::PeClass::kDsp, mhz(600), 256 * 1024});
+  a.platform.shared_mem_bytes = 512 * 1024;
+  a.platform.shared_mem_latency = 40;  // off-chip-ish
+  a.platform.interconnect = sim::PlatformConfig::Icn::kMesh;
+  a.platform.mesh.width = 4;
+  a.platform.mesh.height = 2;
+  return a;
+}
+
+ArchInfo ArchInfo::smp_like(std::size_t cores) {
+  ArchInfo a;
+  a.name = "mpcoreish";
+  a.style = MemoryStyle::kShared;
+  for (std::size_t i = 0; i < cores; ++i)
+    a.platform.cores.push_back({sim::PeClass::kRisc, mhz(400), 32 * 1024});
+  a.platform.shared_mem_bytes = 1024 * 1024;
+  a.platform.shared_mem_latency = 12;  // coherent L2-ish
+  a.platform.interconnect = sim::PlatformConfig::Icn::kSharedBus;
+  a.platform.bus.frequency = mhz(266);
+  a.platform.bus.width_bytes = 8;
+  return a;
+}
+
+Result<ArchInfo> parse_arch_file(const std::string& xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.error();
+  const xml::Element& root = *doc.value();
+  if (root.name != "architecture")
+    return make_error("root element must be <architecture>", root.line);
+
+  ArchInfo arch;
+  arch.name = std::string(root.attr("name"));
+  const auto style = root.attr("style");
+  if (style == "shared") {
+    arch.style = MemoryStyle::kShared;
+  } else if (style == "distributed" || style.empty()) {
+    arch.style = MemoryStyle::kDistributed;
+  } else {
+    return make_error("unknown style '" + std::string(style) + "'",
+                      root.line);
+  }
+
+  for (const auto* proc : root.children_named("processor")) {
+    const auto cls_name = proc->attr("class");
+    sim::PeClass cls;
+    if (cls_name == "RISC") {
+      cls = sim::PeClass::kRisc;
+    } else if (cls_name == "DSP") {
+      cls = sim::PeClass::kDsp;
+    } else if (cls_name == "VLIW") {
+      cls = sim::PeClass::kVliw;
+    } else if (cls_name == "ASIP") {
+      cls = sim::PeClass::kAsip;
+    } else if (cls_name == "ACCEL") {
+      cls = sim::PeClass::kAccel;
+    } else {
+      return make_error("unknown processor class '" +
+                        std::string(cls_name) + "'", proc->line);
+    }
+    const auto freq = proc->attr_u64("freq", mhz(400));
+    const auto spm = proc->attr_u64("scratchpad", 64 * 1024);
+    const auto count = proc->attr_u64("count", 1);
+    if (count == 0 || count > 1024)
+      return make_error("bad processor count", proc->line);
+    for (std::uint64_t i = 0; i < count; ++i)
+      arch.platform.cores.push_back({cls, freq, spm});
+  }
+  if (arch.platform.cores.empty())
+    return make_error("architecture has no processors", root.line);
+
+  if (const auto* mem = root.child("memory")) {
+    arch.platform.shared_mem_bytes = mem->attr_u64("bytes", 1 << 20);
+    arch.platform.shared_mem_latency = mem->attr_u64("latency", 12);
+  }
+  if (const auto* icn = root.child("interconnect")) {
+    const auto kind = icn->attr("kind");
+    if (kind == "bus" || kind.empty()) {
+      arch.platform.interconnect = sim::PlatformConfig::Icn::kSharedBus;
+      arch.platform.bus.frequency = icn->attr_u64("freq", mhz(200));
+      arch.platform.bus.width_bytes =
+          static_cast<std::uint32_t>(icn->attr_u64("width", 8));
+    } else if (kind == "mesh") {
+      arch.platform.interconnect = sim::PlatformConfig::Icn::kMesh;
+      arch.platform.mesh.width =
+          static_cast<std::uint32_t>(icn->attr_u64("width", 4));
+      arch.platform.mesh.height =
+          static_cast<std::uint32_t>(icn->attr_u64("height", 4));
+      arch.platform.mesh.link_frequency = icn->attr_u64("freq", mhz(500));
+    } else {
+      return make_error("unknown interconnect kind '" + std::string(kind) +
+                        "'", icn->line);
+    }
+  }
+  if (const auto* lock = root.child("lock")) {
+    arch.lock_cycles = lock->attr_u64("cycles", 40);
+  }
+  return arch;
+}
+
+Result<ArchInfo> load_arch_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return make_error("cannot open architecture file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_arch_file(buf.str());
+}
+
+Status save_arch_file(const ArchInfo& arch, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return make_error("cannot write architecture file '" + path +
+                              "'");
+  out << arch_to_xml(arch);
+  return out.good() ? Status::ok_status()
+                    : Status(make_error("write failed for '" + path + "'"));
+}
+
+std::string arch_to_xml(const ArchInfo& arch) {
+  std::string s = strformat("<architecture name=\"%s\" style=\"%s\">\n",
+                            arch.name.c_str(),
+                            memory_style_name(arch.style));
+  for (const auto& c : arch.platform.cores) {
+    s += strformat(
+        "  <processor class=\"%s\" freq=\"%llu\" scratchpad=\"%llu\"/>\n",
+        sim::pe_class_name(c.cls),
+        static_cast<unsigned long long>(c.frequency),
+        static_cast<unsigned long long>(c.scratchpad_bytes));
+  }
+  s += strformat("  <memory kind=\"shared\" bytes=\"%llu\" latency=\"%llu\"/>\n",
+                 static_cast<unsigned long long>(
+                     arch.platform.shared_mem_bytes),
+                 static_cast<unsigned long long>(
+                     arch.platform.shared_mem_latency));
+  if (arch.platform.interconnect == sim::PlatformConfig::Icn::kSharedBus) {
+    s += strformat("  <interconnect kind=\"bus\" freq=\"%llu\" width=\"%u\"/>\n",
+                   static_cast<unsigned long long>(
+                       arch.platform.bus.frequency),
+                   arch.platform.bus.width_bytes);
+  } else {
+    s += strformat(
+        "  <interconnect kind=\"mesh\" width=\"%u\" height=\"%u\" freq=\"%llu\"/>\n",
+        arch.platform.mesh.width, arch.platform.mesh.height,
+        static_cast<unsigned long long>(
+            arch.platform.mesh.link_frequency));
+  }
+  s += strformat("  <lock cycles=\"%llu\"/>\n",
+                 static_cast<unsigned long long>(arch.lock_cycles));
+  s += "</architecture>\n";
+  return s;
+}
+
+}  // namespace rw::cic

@@ -1,0 +1,55 @@
+// Architecture information file (Sec. V).
+//
+// "Information on the target architecture and the design constraints is
+// separately described in an xml-style file, called the architecture
+// information file." This parser turns such a file into a simulator
+// platform configuration plus the memory-style switch the translator's
+// back-end selection keys off.
+//
+// Example:
+//   <architecture name="cellish" style="distributed">
+//     <processor class="RISC" freq="400000000" count="1"/>
+//     <processor class="DSP"  freq="300000000" count="6"/>
+//     <memory kind="shared" bytes="1048576" latency="14"/>
+//     <interconnect kind="bus" freq="200000000" width="16"/>
+//   </architecture>
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "sim/platform.hpp"
+
+namespace rw::cic {
+
+/// Which communication style the translator must synthesize.
+enum class MemoryStyle : std::uint8_t {
+  kDistributed,  // message passing over the interconnect (Cell-like)
+  kShared,       // lock-protected shared-memory rings (MPCore-like)
+};
+
+const char* memory_style_name(MemoryStyle s);
+
+struct ArchInfo {
+  std::string name;
+  MemoryStyle style = MemoryStyle::kDistributed;
+  sim::PlatformConfig platform;
+  Cycles lock_cycles = 40;  // cost of acquiring/releasing a lock (shared)
+
+  /// Built-in reference targets for tests and examples.
+  static ArchInfo cell_like(std::size_t spes = 6);
+  static ArchInfo smp_like(std::size_t cores = 4);
+};
+
+/// Parse the XML text of an architecture information file.
+Result<ArchInfo> parse_arch_file(const std::string& xml_text);
+
+/// Render an ArchInfo back to XML (round-trip support / file generation).
+std::string arch_to_xml(const ArchInfo& arch);
+
+/// File-system conveniences for the tool flow (HOPES keeps architecture
+/// files next to the application sources).
+Result<ArchInfo> load_arch_file(const std::string& path);
+Status save_arch_file(const ArchInfo& arch, const std::string& path);
+
+}  // namespace rw::cic

@@ -1,0 +1,96 @@
+#include "cic/dse.hpp"
+
+#include "common/strings.hpp"
+
+namespace rw::cic {
+
+double architecture_area(const ArchInfo& arch) {
+  // Abstract area units: a RISC is 1.0, a DSP 1.4 (wider datapaths), a
+  // VLIW 2.2, an ASIP 0.8, an accelerator 1.6; scratchpads and shared
+  // memory cost per 64 KiB.
+  double area = 0;
+  for (const auto& c : arch.platform.cores) {
+    switch (c.cls) {
+      case sim::PeClass::kRisc: area += 1.0; break;
+      case sim::PeClass::kDsp: area += 1.4; break;
+      case sim::PeClass::kVliw: area += 2.2; break;
+      case sim::PeClass::kAsip: area += 0.8; break;
+      case sim::PeClass::kAccel: area += 1.6; break;
+    }
+    area += static_cast<double>(c.scratchpad_bytes) / (64.0 * 1024.0) * 0.2;
+  }
+  area += static_cast<double>(arch.platform.shared_mem_bytes) /
+          (64.0 * 1024.0) * 0.15;
+  if (arch.platform.interconnect == sim::PlatformConfig::Icn::kMesh)
+    area += 0.1 * static_cast<double>(arch.platform.mesh.width *
+                                      arch.platform.mesh.height);
+  else
+    area += 0.5;  // the bus is cheap; that is its appeal
+  return area;
+}
+
+std::vector<ArchInfo> default_candidates(std::size_t max_cores) {
+  std::vector<ArchInfo> out;
+  for (std::size_t n = 1; n <= max_cores; ++n) {
+    auto smp = ArchInfo::smp_like(n);
+    smp.name = strformat("smp%zu", n);
+    out.push_back(std::move(smp));
+    auto cell = ArchInfo::cell_like(n);
+    cell.name = strformat("cell%zu", n);
+    out.push_back(std::move(cell));
+  }
+  return out;
+}
+
+std::vector<DsePoint> explore_architectures(
+    const CicProgram& prog, const std::vector<ArchInfo>& candidates,
+    const DseConfig& cfg) {
+  std::vector<DsePoint> points;
+  points.reserve(candidates.size());
+
+  for (const auto& arch : candidates) {
+    DsePoint pt;
+    pt.arch = arch;
+    pt.area_cost = architecture_area(arch);
+    const auto mapping = cfg.use_annealing
+                             ? CicMapping::optimized(prog, arch)
+                             : CicMapping::automatic(prog, arch);
+    if (!mapping.ok()) {
+      points.push_back(std::move(pt));
+      continue;
+    }
+    auto target = TargetProgram::translate(prog, arch, mapping.value());
+    if (!target.ok()) {
+      points.push_back(std::move(pt));
+      continue;
+    }
+    const auto r = target.value().run(cfg.iterations);
+    pt.feasible = true;
+    pt.makespan = r.makespan;
+    pt.mean_core_utilization = r.mean_core_utilization;
+    pt.deadline_misses = r.deadline_misses;
+    points.push_back(std::move(pt));
+  }
+
+  // Pareto marking: a feasible point dominates another when it is no
+  // worse in both area and makespan and better in at least one.
+  for (auto& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (!q.feasible || &q == &p) continue;
+      const bool no_worse =
+          q.area_cost <= p.area_cost && q.makespan <= p.makespan;
+      const bool better =
+          q.area_cost < p.area_cost || q.makespan < p.makespan;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    p.pareto = !dominated;
+  }
+  return points;
+}
+
+}  // namespace rw::cic

@@ -1,0 +1,58 @@
+// Design-space exploration over target architectures (Sec. V).
+//
+// "There are many issues to be researched further in the future, which
+// include optimal mapping of CIC tasks to a given target architecture,
+// [and] exploration of optimal target architecture..."
+//
+// Because a CicProgram is architecture-independent and ArchInfo is just
+// data, exploring targets is a loop: generate candidate architectures,
+// map + translate + run each, collect cost/performance, return the Pareto
+// front. Cost is a simple area model (core class weights + memory);
+// performance is the simulated makespan for a fixed iteration count.
+#pragma once
+
+#include <vector>
+
+#include "cic/archfile.hpp"
+#include "cic/model.hpp"
+#include "cic/translator.hpp"
+
+namespace rw::cic {
+
+struct DsePoint {
+  ArchInfo arch;
+  double area_cost = 0;       // abstract area units
+  TimePs makespan = 0;        // for the evaluation run
+  double mean_core_utilization = 0;
+  std::uint64_t deadline_misses = 0;
+  bool feasible = false;      // mapped + translated + ran
+  bool pareto = false;        // on the cost/performance front
+
+  /// Throughput proxy: iterations per millisecond of simulated time.
+  [[nodiscard]] double iterations_per_ms(std::uint64_t iterations) const {
+    if (makespan == 0) return 0;
+    return static_cast<double>(iterations) * 1e9 /
+           static_cast<double>(makespan);
+  }
+};
+
+/// Abstract area of an architecture: weighted cores + memory.
+double architecture_area(const ArchInfo& arch);
+
+struct DseConfig {
+  std::uint64_t iterations = 30;  // evaluation run length
+  bool use_annealing = false;     // refine each mapping (slower, better)
+};
+
+/// Evaluate every candidate; mark the Pareto-optimal ones (minimal area
+/// for their makespan and vice versa). Candidates that fail to map are
+/// returned with feasible=false and never Pareto.
+std::vector<DsePoint> explore_architectures(
+    const CicProgram& prog, const std::vector<ArchInfo>& candidates,
+    const DseConfig& cfg = {});
+
+/// A default candidate sweep: SMPs of 1..8 cores and Cell-likes of 1..8
+/// SPEs (the two styles the paper's experiments used).
+std::vector<ArchInfo> default_candidates(std::size_t max_cores = 8);
+
+}  // namespace rw::cic

@@ -1,0 +1,142 @@
+#include "cic/model.hpp"
+
+#include <algorithm>
+
+namespace rw::cic {
+
+CicTaskId CicProgram::add_task(std::string name, Cycles wcet,
+                               std::vector<std::string> in_ports,
+                               std::vector<std::string> out_ports,
+                               Behavior behavior) {
+  CicTask t;
+  t.id = CicTaskId{static_cast<std::uint32_t>(tasks_.size())};
+  t.name = std::move(name);
+  t.wcet = wcet;
+  t.in_ports = std::move(in_ports);
+  t.out_ports = std::move(out_ports);
+  if (behavior) {
+    t.behavior = std::move(behavior);
+  } else {
+    // Default behaviour: a deterministic mix of inputs, iteration and task
+    // identity — enough to detect any cross-target divergence.
+    const auto tid = t.id.value();
+    const std::size_t nout = t.out_ports.size();
+    t.behavior = [tid, nout](const std::vector<Token>& in,
+                             std::uint64_t iter) {
+      Token acc = static_cast<Token>(tid) * 1315423911LL +
+                  static_cast<Token>(iter);
+      for (const Token v : in) acc = acc * 31 + v;
+      std::vector<Token> out(nout);
+      for (std::size_t i = 0; i < nout; ++i)
+        out[i] = acc + static_cast<Token>(i);
+      return out;
+    };
+  }
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+void CicProgram::set_period(CicTaskId t, DurationPs period) {
+  tasks_.at(t.index()).period = period;
+}
+void CicProgram::set_deadline(CicTaskId t, DurationPs deadline) {
+  tasks_.at(t.index()).deadline = deadline;
+}
+void CicProgram::set_preferred_pe(CicTaskId t, sim::PeClass cls) {
+  tasks_.at(t.index()).preferred_pe = cls;
+}
+
+namespace {
+
+std::optional<std::size_t> port_index(const std::vector<std::string>& ports,
+                                      const std::string& name) {
+  const auto it = std::find(ports.begin(), ports.end(), name);
+  if (it == ports.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - ports.begin());
+}
+
+}  // namespace
+
+Result<CicChannelId> CicProgram::connect(CicTaskId src,
+                                         const std::string& out_port,
+                                         CicTaskId dst,
+                                         const std::string& in_port,
+                                         std::uint32_t token_bytes,
+                                         std::size_t capacity) {
+  if (src.index() >= tasks_.size() || dst.index() >= tasks_.size())
+    return make_error("connect: invalid task id");
+  const auto sp = port_index(tasks_[src.index()].out_ports, out_port);
+  if (!sp)
+    return make_error("task '" + tasks_[src.index()].name +
+                      "' has no output port '" + out_port + "'");
+  const auto dp = port_index(tasks_[dst.index()].in_ports, in_port);
+  if (!dp)
+    return make_error("task '" + tasks_[dst.index()].name +
+                      "' has no input port '" + in_port + "'");
+
+  CicChannel c;
+  c.id = CicChannelId{static_cast<std::uint32_t>(channels_.size())};
+  c.name = tasks_[src.index()].name + "." + out_port + "->" +
+           tasks_[dst.index()].name + "." + in_port;
+  c.src = src;
+  c.src_port = *sp;
+  c.dst = dst;
+  c.dst_port = *dp;
+  c.token_bytes = token_bytes;
+  c.capacity = std::max<std::size_t>(1, capacity);
+  channels_.push_back(std::move(c));
+  return channels_.back().id;
+}
+
+std::vector<const CicChannel*> CicProgram::inputs_of(CicTaskId t) const {
+  std::vector<const CicChannel*> out;
+  for (const auto& c : channels_)
+    if (c.dst == t) out.push_back(&c);
+  // Order by destination port so behaviour sees inputs in port order.
+  std::sort(out.begin(), out.end(),
+            [](const CicChannel* a, const CicChannel* b) {
+              return a->dst_port < b->dst_port;
+            });
+  return out;
+}
+
+std::vector<const CicChannel*> CicProgram::outputs_of(CicTaskId t) const {
+  std::vector<const CicChannel*> out;
+  for (const auto& c : channels_)
+    if (c.src == t) out.push_back(&c);
+  std::sort(out.begin(), out.end(),
+            [](const CicChannel* a, const CicChannel* b) {
+              return a->src_port < b->src_port;
+            });
+  return out;
+}
+
+Status CicProgram::validate() const {
+  for (const auto& t : tasks_) {
+    // Every port wired exactly once.
+    for (std::size_t p = 0; p < t.in_ports.size(); ++p) {
+      int wired = 0;
+      for (const auto& c : channels_)
+        if (c.dst == t.id && c.dst_port == p) ++wired;
+      if (wired != 1)
+        return make_error("task '" + t.name + "' input port '" +
+                          t.in_ports[p] + "' wired " +
+                          std::to_string(wired) + " times");
+    }
+    for (std::size_t p = 0; p < t.out_ports.size(); ++p) {
+      int wired = 0;
+      for (const auto& c : channels_)
+        if (c.src == t.id && c.src_port == p) ++wired;
+      if (wired != 1)
+        return make_error("task '" + t.name + "' output port '" +
+                          t.out_ports[p] + "' wired " +
+                          std::to_string(wired) + " times");
+    }
+    if (t.in_ports.empty() && t.period == 0)
+      return make_error("source task '" + t.name +
+                        "' needs a period (it has no inputs to trigger it)");
+  }
+  return Status::ok_status();
+}
+
+}  // namespace rw::cic

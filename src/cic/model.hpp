@@ -1,0 +1,108 @@
+// Common Intermediate Code (CIC) — the HOPES programming model (Sec. V).
+//
+// "In a CIC, the potential functional and data parallelism of application
+// tasks are specified independently of the target architecture and design
+// constraints. CIC tasks are concurrent tasks communicating with each
+// other through channels."
+//
+// A CicProgram is therefore *pure algorithm*: tasks with behaviour,
+// ports, per-iteration cost, and optional real-time annotations. Nothing
+// here references a platform — the architecture lives in the separate
+// architecture-information file (archfile.hpp), and only the translator
+// (translator.hpp) combines the two.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+#include "sim/core.hpp"
+
+namespace rw::cic {
+
+struct CicTaskTag {};
+using CicTaskId = Id<CicTaskTag>;
+struct CicChannelTag {};
+using CicChannelId = Id<CicChannelTag>;
+
+/// One data token. Integer payloads keep behaviour exactly reproducible
+/// across back ends, which is what the retargetability check needs.
+using Token = std::int64_t;
+
+/// Task behaviour: one iteration maps one token per input port to one
+/// token per output port. Must be a pure function of its inputs and the
+/// iteration index so that both back ends compute identical results.
+using Behavior = std::function<std::vector<Token>(
+    const std::vector<Token>& inputs, std::uint64_t iteration)>;
+
+struct CicTask {
+  CicTaskId id{};
+  std::string name;
+  Cycles wcet = 1000;            // per iteration, on the reference RISC
+  DurationPs period = 0;         // >0: timer-driven (sources); 0: data-driven
+  DurationPs deadline = 0;       // relative per-iteration deadline (0=none)
+  std::optional<sim::PeClass> preferred_pe;  // annotation
+  std::vector<std::string> in_ports;
+  std::vector<std::string> out_ports;
+  Behavior behavior;  // defaulted by CicProgram::add_task when empty
+};
+
+struct CicChannel {
+  CicChannelId id{};
+  std::string name;
+  CicTaskId src{};
+  std::size_t src_port = 0;
+  CicTaskId dst{};
+  std::size_t dst_port = 0;
+  std::uint32_t token_bytes = 8;
+  std::size_t capacity = 4;
+};
+
+class CicProgram {
+ public:
+  explicit CicProgram(std::string name = "app") : name_(std::move(name)) {}
+
+  CicTaskId add_task(std::string name, Cycles wcet,
+                     std::vector<std::string> in_ports,
+                     std::vector<std::string> out_ports,
+                     Behavior behavior = {});
+
+  /// Annotations (the "lightweight C extensions").
+  void set_period(CicTaskId t, DurationPs period);
+  void set_deadline(CicTaskId t, DurationPs deadline);
+  void set_preferred_pe(CicTaskId t, sim::PeClass cls);
+
+  /// Connect src.out_port -> dst.in_port (ports by name).
+  Result<CicChannelId> connect(CicTaskId src, const std::string& out_port,
+                               CicTaskId dst, const std::string& in_port,
+                               std::uint32_t token_bytes = 8,
+                               std::size_t capacity = 4);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<CicTask>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<CicChannel>& channels() const {
+    return channels_;
+  }
+  [[nodiscard]] const CicTask& task(CicTaskId t) const {
+    return tasks_.at(t.index());
+  }
+
+  [[nodiscard]] std::vector<const CicChannel*> inputs_of(CicTaskId t) const;
+  [[nodiscard]] std::vector<const CicChannel*> outputs_of(CicTaskId t) const;
+
+  /// Structural checks: every port wired exactly once, sources (no input
+  /// ports) must be periodic, behaviour arity consistent.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<CicTask> tasks_;
+  std::vector<CicChannel> channels_;
+};
+
+}  // namespace rw::cic

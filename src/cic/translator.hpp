@@ -1,0 +1,87 @@
+// The CIC translator (Sec. V).
+//
+// "the CIC translator automatically translates the task codes in the CIC
+// model into the final parallel code, following the partitioning decision.
+// The CIC translation involves synthesizing the interface code between
+// tasks and a run-time system that schedules the mapped tasks."
+//
+// translate() binds a pure CicProgram to an ArchInfo + mapping and yields
+// a TargetProgram that can (a) emit the synthesized per-PE C code and
+// (b) execute on the corresponding simulated platform. The two back ends
+// differ exactly where real ones do:
+//   * distributed — channels become message queues whose transfers ride
+//     the platform interconnect (DMA-style),
+//   * shared     — channels become lock-protected rings in shared memory,
+//     paying lock cycles and shared-memory access latency.
+// Behaviour (the computed token values) must be identical across back
+// ends; only timing differs. That is the retargetability contract.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cic/archfile.hpp"
+#include "cic/model.hpp"
+
+namespace rw::cic {
+
+struct CicMapping {
+  std::vector<std::size_t> task_to_pe;
+
+  /// HEFT-based automatic mapping onto the architecture's PEs.
+  static Result<CicMapping> automatic(const CicProgram& prog,
+                                      const ArchInfo& arch);
+
+  /// Simulated-annealing-refined mapping (the "optimal mapping of CIC
+  /// tasks" future-work item of Sec. V). Slower; never worse than
+  /// automatic() under the static cost model.
+  static Result<CicMapping> optimized(const CicProgram& prog,
+                                      const ArchInfo& arch,
+                                      std::uint64_t seed = 1,
+                                      int iterations = 1500);
+};
+
+class TargetProgram {
+ public:
+  static Result<TargetProgram> translate(CicProgram prog, ArchInfo arch,
+                                         CicMapping mapping);
+
+  struct RunResult {
+    /// Sink task name -> the digest token it computed each iteration.
+    /// Identical across back ends for the same CicProgram.
+    std::map<std::string, std::vector<Token>> sink_outputs;
+    TimePs makespan = 0;
+    double mean_core_utilization = 0;
+    std::uint64_t deadline_misses = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t bytes_moved = 0;
+    /// Deadlock diagnosis (Sec. VII's first failure mode): true when the
+    /// simulation wedged before every task finished its iterations; the
+    /// blocked task names identify the cycle.
+    bool deadlocked = false;
+    std::vector<std::string> blocked_tasks;
+  };
+
+  /// Execute `iterations` of every task on a fresh simulated platform.
+  [[nodiscard]] RunResult run(std::uint64_t iterations) const;
+
+  /// The synthesized target-executable C code (all PEs, one listing).
+  [[nodiscard]] std::string generated_code() const;
+
+  [[nodiscard]] const CicProgram& program() const { return prog_; }
+  [[nodiscard]] const ArchInfo& arch() const { return arch_; }
+  [[nodiscard]] const CicMapping& mapping() const { return mapping_; }
+
+ private:
+  TargetProgram(CicProgram prog, ArchInfo arch, CicMapping mapping)
+      : prog_(std::move(prog)),
+        arch_(std::move(arch)),
+        mapping_(std::move(mapping)) {}
+
+  CicProgram prog_;
+  ArchInfo arch_;
+  CicMapping mapping_;
+};
+
+}  // namespace rw::cic

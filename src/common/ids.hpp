@@ -1,0 +1,65 @@
+// Strong identifier types.
+//
+// Every subsystem in roadworks names its entities (cores, tasks, channels,
+// AST nodes, ...) with small integer handles. Using raw integers invites
+// cross-wiring a CoreId where a TaskId is expected; this header provides a
+// zero-cost strongly typed wrapper so such mistakes fail to compile.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace rw {
+
+/// Strongly typed integer identifier. `Tag` is any (possibly incomplete)
+/// type used purely to distinguish id spaces at compile time.
+///
+/// Invariants: a default-constructed Id is invalid(); valid ids are
+/// consecutive small integers handed out by the owning container.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  /// Sentinel for "no such entity".
+  static constexpr Id invalid() { return Id{}; }
+
+  [[nodiscard]] constexpr bool is_valid() const { return value_ != kInvalid; }
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+
+  /// Convenience for indexing vectors keyed by this id space.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.is_valid()) return os << "<invalid>";
+  return os << '#' << id.value();
+}
+
+}  // namespace rw
+
+namespace std {
+template <typename Tag>
+struct hash<rw::Id<Tag>> {
+  size_t operator()(rw::Id<Tag> id) const noexcept {
+    return std::hash<typename rw::Id<Tag>::underlying_type>{}(id.value());
+  }
+};
+}  // namespace std

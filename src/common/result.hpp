@@ -1,0 +1,97 @@
+// Lightweight Result<T> error propagation.
+//
+// Recoverable, expected failures (parse errors in the mini-C front end,
+// malformed architecture files, infeasible schedules) are returned as
+// values; exceptions are reserved for programming errors and broken
+// invariants. This keeps error paths explicit in the public API while C++23
+// std::expected is unavailable under the C++20 toolchain.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rw {
+
+/// Error payload: a human-readable message plus an optional source location
+/// (used by the recoder and the XML parser to point at the offending text).
+struct Error {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    if (line <= 0) return message;
+    return std::to_string(line) + ":" + std::to_string(column) + ": " +
+           message;
+  }
+};
+
+/// Result of an operation that can fail with an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(implicit)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " +
+                                        error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " +
+                                        error().to_string());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " +
+                                        error().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(implicit)
+
+  static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(std::string msg, int line = 0, int column = 0) {
+  return Error{std::move(msg), line, column};
+}
+
+}  // namespace rw

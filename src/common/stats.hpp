@@ -1,0 +1,56 @@
+// Streaming statistics accumulator used by experiment harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rw {
+
+/// Online mean/min/max/variance (Welford) plus optional sample retention
+/// for percentiles. Cheap enough to sprinkle through simulation hot paths.
+class Stats {
+ public:
+  explicit Stats(bool keep_samples = false) : keep_samples_(keep_samples) {}
+
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (keep_samples_) samples_.push_back(x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// p in [0,1]; requires keep_samples. Nearest-rank method.
+  [[nodiscard]] double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    std::sort(samples_.begin(), samples_.end());
+    const auto rank = static_cast<std::size_t>(
+        p * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+ private:
+  bool keep_samples_;
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<double> samples_;
+};
+
+}  // namespace rw

@@ -1,0 +1,41 @@
+// Small string utilities shared by the parsers and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rw {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary whitespace runs; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Replace all occurrences of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parse a non-negative integer; returns false on any non-digit content.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parse a double; returns false on trailing garbage.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace rw

@@ -1,0 +1,53 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace rw {
+
+std::string format_time(TimePs t) {
+  struct Scale {
+    std::uint64_t div;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 4> scales{{
+      {1'000'000'000'000ULL, "s"},
+      {1'000'000'000ULL, "ms"},
+      {1'000'000ULL, "us"},
+      {1'000ULL, "ns"},
+  }};
+  for (const auto& s : scales) {
+    if (t >= s.div) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3f%s",
+                    static_cast<double>(t) / static_cast<double>(s.div),
+                    s.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(t) + "ps";
+}
+
+std::string format_hz(HertzT f) {
+  struct Scale {
+    std::uint64_t div;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 3> scales{{
+      {1'000'000'000ULL, "GHz"},
+      {1'000'000ULL, "MHz"},
+      {1'000ULL, "kHz"},
+  }};
+  for (const auto& s : scales) {
+    if (f >= s.div) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.3g%s",
+                    static_cast<double>(f) / static_cast<double>(s.div),
+                    s.suffix);
+      return buf;
+    }
+  }
+  return std::to_string(f) + "Hz";
+}
+
+}  // namespace rw

@@ -1,0 +1,65 @@
+// Physical units used across the simulator.
+//
+// Simulation time is kept in integer picoseconds so that event ordering is
+// exact and runs are bit-reproducible (a hard requirement for the vpdebug
+// record/replay experiments, Sec. VII of the paper). Frequencies are kept in
+// Hz; cycle counts are plain 64-bit integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rw {
+
+/// Simulation time in picoseconds.
+using TimePs = std::uint64_t;
+
+/// Duration in picoseconds (same representation, separate alias for intent).
+using DurationPs = std::uint64_t;
+
+/// Processor cycles.
+using Cycles = std::uint64_t;
+
+/// Clock frequency in Hz.
+using HertzT = std::uint64_t;
+
+inline constexpr TimePs kPsPerSecond = 1'000'000'000'000ULL;
+
+constexpr HertzT mhz(std::uint64_t v) { return v * 1'000'000ULL; }
+constexpr HertzT ghz(std::uint64_t v) { return v * 1'000'000'000ULL; }
+constexpr DurationPs microseconds(std::uint64_t v) { return v * 1'000'000ULL; }
+constexpr DurationPs milliseconds(std::uint64_t v) {
+  return v * 1'000'000'000ULL;
+}
+constexpr DurationPs nanoseconds(std::uint64_t v) { return v * 1'000ULL; }
+
+/// Duration of `cycles` cycles at frequency `f`, rounded up so that work
+/// never finishes earlier than physically possible.
+constexpr DurationPs cycles_to_ps(Cycles cycles, HertzT f) {
+  if (f == 0) return 0;
+  // ceil(cycles * ps_per_second / f) without overflow for realistic values:
+  // cycles < 2^40, kPsPerSecond = 1e12 < 2^40 would overflow, so split.
+  const std::uint64_t period_ps = kPsPerSecond / f;        // whole ps per cycle
+  const std::uint64_t remainder = kPsPerSecond % f;        // fractional part
+  // cycles*period + ceil(cycles*remainder / f)
+  const std::uint64_t frac = remainder == 0
+                                 ? 0
+                                 : (cycles * remainder + f - 1) / f;
+  return cycles * period_ps + frac;
+}
+
+/// Number of whole cycles at frequency `f` that fit in `dur`.
+constexpr Cycles ps_to_cycles(DurationPs dur, HertzT f) {
+  if (f == 0) return 0;
+  // floor(dur * f / 1e12) computed as dur / (1e12/f) is lossy; use 128-bit.
+  return static_cast<Cycles>((static_cast<unsigned __int128>(dur) * f) /
+                             kPsPerSecond);
+}
+
+/// Human-readable rendering of a picosecond timestamp, e.g. "1.250ms".
+std::string format_time(TimePs t);
+
+/// Human-readable rendering of a frequency, e.g. "1.2GHz".
+std::string format_hz(HertzT f);
+
+}  // namespace rw

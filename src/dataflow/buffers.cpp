@@ -1,0 +1,56 @@
+#include "dataflow/buffers.hpp"
+
+#include <numeric>
+
+namespace rw::dataflow {
+
+std::size_t BufferSizing::capacity_sum() const {
+  return std::accumulate(capacities.begin(), capacities.end(),
+                         std::size_t{0});
+}
+
+std::vector<std::size_t> capacity_lower_bounds(const Graph& g) {
+  std::vector<std::size_t> lb;
+  lb.reserve(g.edges().size());
+  for (const auto& e : g.edges()) {
+    // An edge must at least hold one producer burst plus the initial
+    // tokens, and enough for one consumer burst to ever become ready.
+    std::uint32_t pmax = 0, cmax = 0;
+    for (const auto r : e.prod_rates) pmax = std::max(pmax, r);
+    for (const auto r : e.cons_rates) cmax = std::max(cmax, r);
+    lb.push_back(std::max<std::size_t>(pmax, cmax) + e.initial_tokens);
+  }
+  return lb;
+}
+
+BufferSizing compute_buffer_capacities(const Graph& g, ExecConfig cfg,
+                                       int max_rounds,
+                                       std::uint64_t check_iterations) {
+  BufferSizing out;
+  out.capacities = capacity_lower_bounds(g);
+  cfg.acet = nullptr;  // design-time: WCETs
+  cfg.iterations = check_iterations;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    out.rounds = round + 1;
+    cfg.buffer_capacities = out.capacities;
+    const ExecResult r = run_data_driven(g, cfg);
+    if (r.source_drops == 0 && r.sink_underruns == 0) {
+      out.wait_free = true;
+      break;
+    }
+    // Grow exactly the edges whose fullness gated a producer this round.
+    bool grew = false;
+    for (std::size_t i = 0; i < out.capacities.size(); ++i) {
+      if (r.edge_full_blocks[i] > 0) {
+        ++out.capacities[i];
+        grew = true;
+      }
+    }
+    if (!grew) break;  // underruns without any full edge: period infeasible
+  }
+  out.total_tokens = out.capacity_sum();
+  return out;
+}
+
+}  // namespace rw::dataflow

@@ -1,0 +1,42 @@
+// Back-pressure buffer capacity computation.
+//
+// Sec. III: "it is sufficient to show at design time that a valid schedule
+// exists such that the periodic source and sink task can execute
+// wait-free" (citing Wiggers et al., RTAS'07). This module computes
+// per-edge buffer capacities under which the data-driven executor runs the
+// periodic sources without drops and the periodic sinks without underruns,
+// assuming WCETs hold. The search is a monotone grow-the-bottleneck loop:
+// start from structural lower bounds, simulate with WCETs, and enlarge
+// exactly the edges whose fullness gated a producer, until wait-free or
+// the round budget is exhausted (unsustainable period).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+
+namespace rw::dataflow {
+
+struct BufferSizing {
+  std::vector<std::size_t> capacities;  // per edge
+  bool wait_free = false;  // sources never dropped, sinks never underran
+  int rounds = 0;          // growth iterations used
+  std::size_t total_tokens = 0;
+
+  [[nodiscard]] std::size_t capacity_sum() const;
+};
+
+/// Compute sufficient capacities for `g` driven at cfg.source_period.
+/// cfg.buffer_capacities is ignored; cfg.acet is ignored (WCETs are the
+/// design-time contract). `check_iterations` graph iterations are
+/// simulated per round.
+BufferSizing compute_buffer_capacities(const Graph& g, ExecConfig cfg,
+                                       int max_rounds = 256,
+                                       std::uint64_t check_iterations = 64);
+
+/// Structural lower bound for every edge (what any schedule needs).
+std::vector<std::size_t> capacity_lower_bounds(const Graph& g);
+
+}  // namespace rw::dataflow

@@ -1,0 +1,172 @@
+#include "dataflow/graph.hpp"
+
+#include <deque>
+
+namespace rw::dataflow {
+
+ActorId Graph::add_actor(std::string name, std::vector<Cycles> phase_wcet,
+                         std::size_t core) {
+  Actor a;
+  a.id = ActorId{static_cast<std::uint32_t>(actors_.size())};
+  a.name = std::move(name);
+  a.phase_wcet = std::move(phase_wcet);
+  a.core = core;
+  actors_.push_back(std::move(a));
+  return actors_.back().id;
+}
+
+EdgeId Graph::connect(ActorId src, ActorId dst,
+                      std::vector<std::uint32_t> prod_rates,
+                      std::vector<std::uint32_t> cons_rates,
+                      std::uint32_t initial_tokens, std::string name) {
+  Edge e;
+  e.id = EdgeId{static_cast<std::uint32_t>(edges_.size())};
+  e.name = name.empty() ? actors_.at(src.index()).name + "->" +
+                              actors_.at(dst.index()).name
+                        : std::move(name);
+  e.src = src;
+  e.dst = dst;
+  e.prod_rates = std::move(prod_rates);
+  e.cons_rates = std::move(cons_rates);
+  e.initial_tokens = initial_tokens;
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+std::vector<EdgeId> Graph::in_edges(ActorId a) const {
+  std::vector<EdgeId> out;
+  for (const auto& e : edges_)
+    if (e.dst == a) out.push_back(e.id);
+  return out;
+}
+
+std::vector<EdgeId> Graph::out_edges(ActorId a) const {
+  std::vector<EdgeId> out;
+  for (const auto& e : edges_)
+    if (e.src == a) out.push_back(e.id);
+  return out;
+}
+
+Status Graph::validate() const {
+  for (const auto& a : actors_) {
+    if (a.phase_wcet.empty())
+      return make_error("actor '" + a.name + "' has no phases");
+  }
+  for (const auto& e : edges_) {
+    if (e.src.index() >= actors_.size() || e.dst.index() >= actors_.size())
+      return make_error("edge '" + e.name + "' has invalid endpoints");
+    if (e.prod_rates.size() != actors_[e.src.index()].phases())
+      return make_error("edge '" + e.name +
+                        "': prod rate count != producer phase count");
+    if (e.cons_rates.size() != actors_[e.dst.index()].phases())
+      return make_error("edge '" + e.name +
+                        "': cons rate count != consumer phase count");
+    if (e.prod_per_cycle() == 0 || e.cons_per_cycle() == 0)
+      return make_error("edge '" + e.name + "' moves no tokens");
+  }
+  return Status::ok_status();
+}
+
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+struct Fraction {
+  std::uint64_t num = 0, den = 1;
+  void reduce() {
+    const std::uint64_t g = gcd_u64(num, den);
+    if (g > 1) {
+      num /= g;
+      den /= g;
+    }
+  }
+};
+
+}  // namespace
+
+Result<RepetitionVector> Graph::repetition_vector() const {
+  if (auto s = validate(); !s.ok()) return s.error();
+  const std::size_t n = actors_.size();
+  std::vector<Fraction> rate(n);
+  std::vector<bool> set(n, false);
+
+  // Propagate rates over the (undirected) edge structure, component by
+  // component; the first actor of a component is pinned to 1. Components
+  // are normalized independently (each sub-vector is minimal).
+  std::vector<std::size_t> component(n, SIZE_MAX);
+  std::size_t component_count = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (set[seed]) continue;
+    const std::size_t comp = component_count++;
+    component[seed] = comp;
+    rate[seed] = Fraction{1, 1};
+    set[seed] = true;
+    std::deque<std::size_t> work{seed};
+    while (!work.empty()) {
+      const std::size_t cur = work.front();
+      work.pop_front();
+      for (const auto& e : edges_) {
+        std::size_t other;
+        Fraction next;
+        if (e.src.index() == cur) {
+          other = e.dst.index();
+          // r_dst = r_src * prod / cons.
+          next = Fraction{rate[cur].num * e.prod_per_cycle(),
+                          rate[cur].den * e.cons_per_cycle()};
+        } else if (e.dst.index() == cur) {
+          other = e.src.index();
+          next = Fraction{rate[cur].num * e.cons_per_cycle(),
+                          rate[cur].den * e.prod_per_cycle()};
+        } else {
+          continue;
+        }
+        next.reduce();
+        if (!set[other]) {
+          rate[other] = next;
+          set[other] = true;
+          component[other] = comp;
+          work.push_back(other);
+        } else if (rate[other].num * next.den !=
+                   next.num * rate[other].den) {
+          return make_error("inconsistent graph: balance equations "
+                            "unsolvable at edge '" + e.name + "'");
+        }
+      }
+    }
+  }
+
+  // Per component: scale fractions to the smallest integer vector —
+  // multiply by lcm(denominators), then divide by gcd(numerators).
+  RepetitionVector rv;
+  rv.cycles.assign(n, 0);
+  rv.firings.assign(n, 0);
+  for (std::size_t comp = 0; comp < component_count; ++comp) {
+    std::uint64_t den_lcm = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (component[i] != comp) continue;
+      const std::uint64_t g = gcd_u64(den_lcm, rate[i].den);
+      den_lcm = den_lcm / g * rate[i].den;
+    }
+    std::uint64_t num_gcd = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (component[i] != comp) continue;
+      rv.cycles[i] = rate[i].num * (den_lcm / rate[i].den);
+      num_gcd = gcd_u64(num_gcd, rv.cycles[i]);
+    }
+    if (num_gcd > 1)
+      for (std::size_t i = 0; i < n; ++i)
+        if (component[i] == comp) rv.cycles[i] /= num_gcd;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    rv.firings[i] = rv.cycles[i] * actors_[i].phases();
+  return rv;
+}
+
+}  // namespace rw::dataflow

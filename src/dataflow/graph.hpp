@@ -1,0 +1,122 @@
+// Cyclo-static dataflow (CSDF) graph model.
+//
+// Sec. III's data-driven systems (NXP Hijdra / CoMPSoC) are programmed as
+// dataflow graphs: actors fire when input data arrives, edges are bounded
+// FIFOs with back-pressure, and sources/sinks are periodic. SDF is the
+// single-phase special case. The model carries per-phase WCETs and rates,
+// supports the consistency (repetition-vector) check, and is shared by the
+// buffer-sizing analysis and both executors.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/units.hpp"
+
+namespace rw::dataflow {
+
+struct ActorTag {};
+using ActorId = Id<ActorTag>;
+struct EdgeTag {};
+using EdgeId = Id<EdgeTag>;
+
+/// CSDF actor: fires through its phases cyclically; phase k consumes /
+/// produces the rates at index k of each incident edge and takes
+/// phase_wcet[k] cycles.
+struct Actor {
+  ActorId id{};
+  std::string name;
+  std::vector<Cycles> phase_wcet;  // one entry per phase, >= 1 phase
+  std::size_t core = 0;            // processing element this actor runs on
+
+  [[nodiscard]] std::size_t phases() const { return phase_wcet.size(); }
+  [[nodiscard]] Cycles wcet_sum() const {
+    return std::accumulate(phase_wcet.begin(), phase_wcet.end(), Cycles{0});
+  }
+  [[nodiscard]] Cycles max_wcet() const {
+    Cycles m = 0;
+    for (const Cycles c : phase_wcet) m = std::max(m, c);
+    return m;
+  }
+};
+
+/// Directed FIFO edge with per-phase rates. `prod_rates` has one entry per
+/// producer phase; `cons_rates` one per consumer phase.
+struct Edge {
+  EdgeId id{};
+  std::string name;
+  ActorId src{};
+  ActorId dst{};
+  std::vector<std::uint32_t> prod_rates;
+  std::vector<std::uint32_t> cons_rates;
+  std::uint32_t initial_tokens = 0;
+
+  [[nodiscard]] std::uint64_t prod_per_cycle() const {
+    return std::accumulate(prod_rates.begin(), prod_rates.end(),
+                           std::uint64_t{0});
+  }
+  [[nodiscard]] std::uint64_t cons_per_cycle() const {
+    return std::accumulate(cons_rates.begin(), cons_rates.end(),
+                           std::uint64_t{0});
+  }
+};
+
+/// Repetition vector entry: how many *phase firings* of the actor make up
+/// one graph iteration (always a multiple of the actor's phase count).
+struct RepetitionVector {
+  std::vector<std::uint64_t> firings;     // per actor, in phase firings
+  std::vector<std::uint64_t> cycles;      // per actor, in full CSDF cycles
+};
+
+class Graph {
+ public:
+  ActorId add_actor(std::string name, std::vector<Cycles> phase_wcet,
+                    std::size_t core = 0);
+  /// SDF convenience: single-phase actor.
+  ActorId add_actor(std::string name, Cycles wcet, std::size_t core = 0) {
+    return add_actor(std::move(name), std::vector<Cycles>{wcet}, core);
+  }
+
+  EdgeId connect(ActorId src, ActorId dst,
+                 std::vector<std::uint32_t> prod_rates,
+                 std::vector<std::uint32_t> cons_rates,
+                 std::uint32_t initial_tokens = 0, std::string name = "");
+  /// SDF convenience: scalar rates.
+  EdgeId connect(ActorId src, ActorId dst, std::uint32_t prod,
+                 std::uint32_t cons, std::uint32_t initial_tokens = 0) {
+    return connect(src, dst, std::vector<std::uint32_t>{prod},
+                   std::vector<std::uint32_t>{cons}, initial_tokens);
+  }
+
+  [[nodiscard]] const std::vector<Actor>& actors() const { return actors_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+  [[nodiscard]] const Actor& actor(ActorId a) const {
+    return actors_.at(a.index());
+  }
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_.at(e.index());
+  }
+
+  [[nodiscard]] std::vector<EdgeId> in_edges(ActorId a) const;
+  [[nodiscard]] std::vector<EdgeId> out_edges(ActorId a) const;
+
+  /// Structural validation: rate vectors match phase counts, endpoints
+  /// valid. Returns the first problem found.
+  [[nodiscard]] Status validate() const;
+
+  /// Solve the balance equations r_src * prod_per_cycle = r_dst *
+  /// cons_per_cycle over the connected graph. Fails when the graph is
+  /// inconsistent (no bounded-memory schedule exists) or disconnected
+  /// pieces disagree. firings[i] = cycles[i] * phases(i).
+  [[nodiscard]] Result<RepetitionVector> repetition_vector() const;
+
+ private:
+  std::vector<Actor> actors_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace rw::dataflow

@@ -1,0 +1,59 @@
+#include "dataflow/throughput.hpp"
+
+#include <map>
+
+namespace rw::dataflow {
+
+DurationPs min_sustainable_period(const Graph& g, ExecConfig cfg,
+                                  DurationPs lo, DurationPs hi) {
+  auto feasible = [&](DurationPs period) {
+    cfg.source_period = period;
+    return compute_static_schedule(g, cfg).ok();
+  };
+  if (!feasible(hi)) return 0;  // nothing works even at the slow end
+  while (lo < hi) {
+    const DurationPs mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+ThroughputReport analyze_throughput(const Graph& g, ExecConfig cfg) {
+  ThroughputReport rep;
+  const DurationPs p = min_sustainable_period(g, cfg);
+  if (p == 0) return rep;
+  rep.min_period = p;
+  rep.max_iterations_per_sec = 1e12 / static_cast<double>(p);
+
+  // Core loads per iteration at WCET: cycles on each core / period.
+  const auto rv = g.repetition_vector();
+  if (!rv.ok()) return rep;
+  std::map<std::size_t, DurationPs> core_time;
+  std::map<std::size_t, std::pair<std::string, DurationPs>> heaviest;
+  const std::size_t cores = std::max<std::size_t>(1, cfg.num_cores);
+  for (std::size_t a = 0; a < g.actors().size(); ++a) {
+    const Actor& actor = g.actors()[a];
+    const std::size_t core = actor.core % cores;
+    const std::uint64_t cycles_per_iter =
+        rv.value().cycles[a] * actor.wcet_sum();
+    const DurationPs t = cycles_to_ps(cycles_per_iter, cfg.frequency);
+    core_time[core] += t;
+    auto& h = heaviest[core];
+    if (t >= h.second) h = {actor.name, t};
+  }
+  for (const auto& [core, t] : core_time) {
+    const double load = static_cast<double>(t) / static_cast<double>(p);
+    if (load > rep.bottleneck_core_load) {
+      rep.bottleneck_core_load = load;
+      rep.bottleneck_core = core;
+      rep.bottleneck_actor = heaviest[core].first;
+    }
+  }
+  return rep;
+}
+
+}  // namespace rw::dataflow

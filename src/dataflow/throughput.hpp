@@ -1,0 +1,38 @@
+// Throughput analysis for (C)SDF graphs.
+//
+// Supports the Sec. III design flow: before buffer sizing, determine the
+// maximum sustainable rate of the graph on the given cores. Self-timed
+// execution of a strongly-connected/consistent dataflow graph converges
+// to a periodic regime, so simulating warm iterations with WCETs and
+// unbounded buffers measures the true maximum throughput; the bottleneck
+// is whichever resource (actor chain or core) is saturated there.
+#pragma once
+
+#include <string>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+
+namespace rw::dataflow {
+
+struct ThroughputReport {
+  double max_iterations_per_sec = 0;  // of the whole graph
+  DurationPs min_period = 0;          // 1 / throughput, in ps
+  std::size_t bottleneck_core = 0;    // most-loaded core
+  double bottleneck_core_load = 0;    // its busy fraction at max rate
+  std::string bottleneck_actor;       // heaviest actor on that core
+};
+
+/// Measure the graph's maximum self-timed throughput with WCETs on
+/// cfg.num_cores cores (cfg.source_period is ignored; sources fire as
+/// back-pressure permits). Deterministic.
+ThroughputReport analyze_throughput(const Graph& g, ExecConfig cfg);
+
+/// Smallest source period (ps) the graph sustains on this config —
+/// binary-searched against compute_static_schedule feasibility, so it
+/// agrees with what the executors accept.
+DurationPs min_sustainable_period(const Graph& g, ExecConfig cfg,
+                                  DurationPs lo = 1,
+                                  DurationPs hi = kPsPerSecond);
+
+}  // namespace rw::dataflow

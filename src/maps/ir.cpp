@@ -1,0 +1,122 @@
+#include "maps/ir.hpp"
+
+#include <algorithm>
+
+namespace rw::maps {
+
+double pe_cost_factor(StmtKind kind, sim::PeClass cls) {
+  switch (cls) {
+    case sim::PeClass::kRisc:
+      return 1.0;
+    case sim::PeClass::kDsp:
+      switch (kind) {
+        case StmtKind::kDspKernel: return 0.25;
+        case StmtKind::kControl: return 1.8;
+        case StmtKind::kGeneric: return 1.1;
+      }
+      break;
+    case sim::PeClass::kVliw:
+      switch (kind) {
+        case StmtKind::kDspKernel: return 0.4;
+        case StmtKind::kControl: return 1.3;
+        case StmtKind::kGeneric: return 0.7;
+      }
+      break;
+    case sim::PeClass::kAsip:
+      return kind == StmtKind::kDspKernel ? 0.2 : 1.5;
+    case sim::PeClass::kAccel:
+      return kind == StmtKind::kDspKernel ? 0.1 : 4.0;
+  }
+  return 1.0;
+}
+
+VarId SeqProgram::add_var(std::string name, std::uint32_t bytes) {
+  Var v;
+  v.id = VarId{static_cast<std::uint32_t>(vars_.size())};
+  v.name = std::move(name);
+  v.bytes = bytes;
+  vars_.push_back(std::move(v));
+  return vars_.back().id;
+}
+
+StmtId SeqProgram::add_stmt(std::string name, Cycles cycles,
+                            std::vector<VarId> reads,
+                            std::vector<VarId> writes, StmtKind kind) {
+  Stmt s;
+  s.id = StmtId{static_cast<std::uint32_t>(stmts_.size())};
+  s.name = std::move(name);
+  s.cycles = cycles;
+  s.kind = kind;
+  s.reads = std::move(reads);
+  s.writes = std::move(writes);
+  stmts_.push_back(std::move(s));
+  return stmts_.back().id;
+}
+
+std::vector<Dep> SeqProgram::dependences() const {
+  std::vector<Dep> deps;
+  // last_writer[v] / readers_since_write[v] track the classic def/use
+  // chains in program order.
+  std::vector<StmtId> last_writer(vars_.size());
+  std::vector<std::vector<StmtId>> readers(vars_.size());
+
+  for (const auto& s : stmts_) {
+    for (const VarId v : s.reads) {
+      if (last_writer[v.index()].is_valid()) {
+        deps.push_back(Dep{last_writer[v.index()], s.id, DepKind::kFlow, v,
+                           vars_[v.index()].bytes});
+      }
+      readers[v.index()].push_back(s.id);
+    }
+    for (const VarId v : s.writes) {
+      // Anti deps from every reader since the last write.
+      for (const StmtId r : readers[v.index()]) {
+        if (r != s.id)
+          deps.push_back(Dep{r, s.id, DepKind::kAnti, v, 0});
+      }
+      // Output dep from the previous writer.
+      if (last_writer[v.index()].is_valid() &&
+          last_writer[v.index()] != s.id) {
+        deps.push_back(
+            Dep{last_writer[v.index()], s.id, DepKind::kOutput, v, 0});
+      }
+      last_writer[v.index()] = s.id;
+      readers[v.index()].clear();
+    }
+  }
+  return deps;
+}
+
+Cycles SeqProgram::total_cycles() const {
+  Cycles t = 0;
+  for (const auto& s : stmts_) t += s.cycles;
+  return t;
+}
+
+Cycles SeqProgram::critical_path() const {
+  // Longest path over flow deps; statements are already in program order,
+  // and deps always point forward, so one pass suffices.
+  std::vector<Cycles> finish(stmts_.size(), 0);
+  std::vector<std::vector<std::pair<std::size_t, Cycles>>> preds(
+      stmts_.size());
+  for (const auto& d : dependences()) {
+    if (d.kind != DepKind::kFlow) continue;
+    preds[d.dst.index()].emplace_back(d.src.index(), 0);
+  }
+  Cycles best = 0;
+  for (std::size_t i = 0; i < stmts_.size(); ++i) {
+    Cycles start = 0;
+    for (const auto& [p, _] : preds[i]) start = std::max(start, finish[p]);
+    finish[i] = start + stmts_[i].cycles;
+    best = std::max(best, finish[i]);
+  }
+  return best;
+}
+
+double SeqProgram::ideal_speedup() const {
+  const Cycles cp = critical_path();
+  if (cp == 0) return 1.0;
+  return static_cast<double>(total_cycles()) / static_cast<double>(cp);
+}
+
+}  // namespace rw::maps

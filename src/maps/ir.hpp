@@ -1,0 +1,95 @@
+// Weighted statement IR — the "microprofile" MAPS partitions.
+//
+// Sec. IV: "MAPS uses advanced dataflow analysis to extract the available
+// parallelism from the sequential codes and to form a set of fine-grained
+// task graphs". The front end here is a sequential program given as a list
+// of statements with cycle weights and def/use sets (what a profiling +
+// dataflow-analysis pass produces from C source); dependences are derived
+// from the def/use sets exactly as a compiler would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "sim/core.hpp"
+
+namespace rw::maps {
+
+struct VarTag {};
+using VarId = Id<VarTag>;
+struct StmtTag {};
+using StmtId = Id<StmtTag>;
+
+/// Statement workload flavour: determines how well each PE class runs it.
+enum class StmtKind : std::uint8_t { kGeneric, kControl, kDspKernel };
+
+/// Cycle-count multiplier for running a statement kind on a PE class
+/// (relative to a generic RISC). DSP kernels run 4x faster on a DSP;
+/// control code runs *slower* there.
+double pe_cost_factor(StmtKind kind, sim::PeClass cls);
+
+struct Var {
+  VarId id{};
+  std::string name;
+  std::uint32_t bytes = 4;  // communication volume when crossing tasks
+};
+
+struct Stmt {
+  StmtId id{};
+  std::string name;
+  Cycles cycles = 0;  // profiled weight on the reference RISC
+  StmtKind kind = StmtKind::kGeneric;
+  std::vector<VarId> reads;
+  std::vector<VarId> writes;
+};
+
+enum class DepKind : std::uint8_t { kFlow, kAnti, kOutput };
+
+struct Dep {
+  StmtId src{};
+  StmtId dst{};
+  DepKind kind = DepKind::kFlow;
+  VarId var{};
+  std::uint32_t bytes = 0;
+};
+
+class SeqProgram {
+ public:
+  VarId add_var(std::string name, std::uint32_t bytes = 4);
+  StmtId add_stmt(std::string name, Cycles cycles, std::vector<VarId> reads,
+                  std::vector<VarId> writes,
+                  StmtKind kind = StmtKind::kGeneric);
+
+  [[nodiscard]] const std::vector<Var>& vars() const { return vars_; }
+  [[nodiscard]] const std::vector<Stmt>& stmts() const { return stmts_; }
+  [[nodiscard]] const Stmt& stmt(StmtId s) const {
+    return stmts_.at(s.index());
+  }
+  [[nodiscard]] const Var& var(VarId v) const { return vars_.at(v.index()); }
+
+  /// Compute all data dependences between statements, in program order
+  /// (src earlier than dst). Flow (RAW) deps carry the variable size as
+  /// communication volume; anti/output deps carry zero bytes (they only
+  /// constrain ordering and disappear after renaming/privatization).
+  [[nodiscard]] std::vector<Dep> dependences() const;
+
+  /// Total sequential work.
+  [[nodiscard]] Cycles total_cycles() const;
+
+  /// Length of the longest flow-dependence chain — the lower bound on any
+  /// parallel execution (ideal span). Ignores anti/output deps, which a
+  /// parallelizing tool removes by privatization.
+  [[nodiscard]] Cycles critical_path() const;
+
+  /// Ideal speedup = total / span.
+  [[nodiscard]] double ideal_speedup() const;
+
+ private:
+  std::vector<Var> vars_;
+  std::vector<Stmt> stmts_;
+};
+
+}  // namespace rw::maps

@@ -1,0 +1,92 @@
+// Task-to-PE mapping and scheduling (Sec. IV: "Using optimization
+// algorithms, the task graphs are mapped to the target architecture,
+// taking into account real-time requirements and preferred PE classes").
+//
+// Three mappers are provided:
+//   * heft_map        — HEFT list scheduling (static; used for hard-RT,
+//                       whose schedule is fixed at design time),
+//   * anneal_map      — simulated-annealing refinement of HEFT (ablation),
+//   * dynamic_schedule— priority-driven best-effort dispatch at run time
+//                       (soft / non-real-time applications).
+// execute_on_platform replays a mapping on the rw::sim platform, with real
+// interconnect contention, to validate the static estimate (the "MAPS
+// Virtual Platform" role).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "maps/taskgraph.hpp"
+#include "sim/platform.hpp"
+
+namespace rw::maps {
+
+struct PeDesc {
+  sim::PeClass cls = sim::PeClass::kRisc;
+  HertzT frequency = mhz(400);
+};
+
+/// Time to move `bytes` between two PEs (0 when same PE).
+using CommCost =
+    std::function<DurationPs(std::size_t src_pe, std::size_t dst_pe,
+                             std::uint64_t bytes)>;
+
+/// Uniform shared-bus style estimate: fixed latency + bytes/bandwidth.
+CommCost simple_comm_cost(DurationPs latency, double bytes_per_ps);
+
+struct ScheduleSlot {
+  TaskNodeId task{};
+  std::size_t pe = 0;
+  TimePs start = 0;
+  TimePs finish = 0;
+};
+
+struct MappingResult {
+  std::vector<std::size_t> task_to_pe;
+  std::vector<ScheduleSlot> slots;  // sorted by start
+  TimePs makespan = 0;
+
+  [[nodiscard]] double speedup_vs(TimePs sequential) const {
+    return makespan == 0 ? 1.0
+                         : static_cast<double>(sequential) /
+                               static_cast<double>(makespan);
+  }
+};
+
+/// HEFT: upward-rank priority list scheduling with earliest-finish-time
+/// PE selection. Honours TaskNode::preferred_pe as a hard constraint when
+/// a matching PE exists.
+MappingResult heft_map(const TaskGraph& g, const std::vector<PeDesc>& pes,
+                       const CommCost& comm);
+
+/// Simulated-annealing refinement starting from HEFT's assignment;
+/// deterministic given the seed.
+MappingResult anneal_map(const TaskGraph& g, const std::vector<PeDesc>& pes,
+                         const CommCost& comm, std::uint64_t seed = 1,
+                         int iterations = 2000);
+
+/// Run-time best-effort dispatch: ready tasks (priority = static upward
+/// rank) grab the earliest-available compatible PE. This is the dynamic
+/// path for soft/non-RT applications.
+MappingResult dynamic_schedule(const TaskGraph& g,
+                               const std::vector<PeDesc>& pes,
+                               const CommCost& comm);
+
+/// Fixed-assignment schedule evaluation: given task_to_pe, compute the
+/// schedule by list order (topological, ties by upward rank).
+TimePs evaluate_mapping(const TaskGraph& g, const std::vector<PeDesc>& pes,
+                        const CommCost& comm,
+                        const std::vector<std::size_t>& task_to_pe);
+
+/// Time to run the whole graph sequentially on the single best PE.
+TimePs best_sequential_time(const TaskGraph& g,
+                            const std::vector<PeDesc>& pes);
+
+/// Replay a mapping on a simulated platform (cores + interconnect with
+/// contention). Returns the measured makespan.
+TimePs execute_on_platform(const TaskGraph& g,
+                           const std::vector<std::size_t>& task_to_pe,
+                           sim::Platform& platform);
+
+}  // namespace rw::maps

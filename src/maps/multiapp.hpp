@@ -1,0 +1,66 @@
+// Multi-application mapping and simulation (the MVP role, Sec. IV).
+//
+// "MAPS is thus inspired by a typical problem setting of SW development
+// for wireless multimedia terminals, where multiple applications and
+// radio standards can be activated simultaneously and partially compete
+// for the same resources. ... Hard real-time applications are scheduled
+// statically, while soft and non-real-time applications are scheduled
+// dynamically according to their priority in best effort manner. The
+// resulting mapping can be exercised and refined with a fast, high-level
+// ... simulation environment (MAPS Virtual Platform, MVP), which has been
+// designed to evaluate different software settings specifically in a
+// multi-application scenario."
+//
+// A scenario holds several task graphs with RT annotations. Hard-RT apps
+// get a static schedule computed at design time (their slots repeat every
+// period and always win the PE); soft/best-effort apps release jobs
+// periodically too, but their tasks are dispatched dynamically, by
+// priority, into whatever gaps remain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "maps/mapping.hpp"
+#include "maps/taskgraph.hpp"
+
+namespace rw::maps {
+
+struct MultiAppResult {
+  struct PerApp {
+    std::string name;
+    sched::Criticality criticality{};
+    std::uint64_t jobs_released = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t deadline_misses = 0;
+    DurationPs worst_latency = 0;   // release -> graph completion
+    double mean_latency = 0;        // ps
+  };
+  std::vector<PerApp> apps;
+  double pe_utilization = 0;
+
+  [[nodiscard]] std::uint64_t hard_misses() const {
+    std::uint64_t n = 0;
+    for (const auto& a : apps)
+      if (a.criticality == sched::Criticality::kHard)
+        n += a.deadline_misses;
+    return n;
+  }
+};
+
+struct MultiAppConfig {
+  std::vector<PeDesc> pes;
+  CommCost comm;
+  DurationPs horizon = 0;  // 0 = one hyper-ish window (16x longest period)
+};
+
+/// Simulate all apps sharing the PEs. Hard-RT graphs are laid out
+/// statically with HEFT at design time and their reservations are
+/// inviolable; soft/best-effort jobs fill the gaps dynamically in
+/// priority order (soft before best-effort, then earlier release first).
+/// Every app's `annotation.period` must be set; deadline defaults to the
+/// period. Deterministic.
+MultiAppResult simulate_multiapp(const std::vector<TaskGraph>& apps,
+                                 const MultiAppConfig& cfg);
+
+}  // namespace rw::maps

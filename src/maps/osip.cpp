@@ -1,0 +1,68 @@
+#include "maps/osip.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rw::maps {
+
+DispatcherModel risc_dispatcher() {
+  // A scheduling tick on a general-purpose core: queue locking, priority
+  // scan, bookkeeping — roughly a thousand cycles in a lean RTOS — plus a
+  // full software context switch on the worker.
+  return DispatcherModel{"RISC", 1200, mhz(400), 400};
+}
+
+DispatcherModel osip_dispatcher() {
+  // The OSIP ASIP resolves a dispatch in tens of specialized-instruction
+  // cycles and triggers a hardware-assisted context switch.
+  return DispatcherModel{"OSIP", 40, mhz(400), 40};
+}
+
+DispatchResult simulate_dispatch(std::uint64_t num_tasks,
+                                 Cycles grain_cycles, std::size_t num_pes,
+                                 HertzT pe_frequency,
+                                 const DispatcherModel& model) {
+  DispatchResult res;
+  if (num_tasks == 0 || num_pes == 0) return res;
+
+  const DurationPs decision = cycles_to_ps(model.dispatch_cycles,
+                                           model.frequency);
+  const DurationPs switch_in = cycles_to_ps(model.pe_switch_cycles,
+                                            pe_frequency);
+  const DurationPs work = cycles_to_ps(grain_cycles, pe_frequency);
+
+  // Scheduler is serial: decision n completes at n-th multiple of the
+  // decision latency (it can always look ahead since tasks are ready).
+  // A worker starts a task after (its own availability) and (the decision
+  // for that task), then pays the switch-in cost before the work.
+  std::vector<TimePs> pe_free(num_pes, 0);
+  TimePs scheduler_free = 0;
+  DurationPs total_switch = 0;
+
+  for (std::uint64_t t = 0; t < num_tasks; ++t) {
+    // Earliest-available worker takes the next task (deterministic).
+    const auto it = std::min_element(pe_free.begin(), pe_free.end());
+    const TimePs decision_done = scheduler_free + decision;
+    scheduler_free = decision_done;
+    const TimePs start = std::max(*it, decision_done);
+    const TimePs finish = start + switch_in + work;
+    total_switch += switch_in;
+    *it = finish;
+    ++res.dispatches;
+    res.makespan = std::max(res.makespan, finish);
+  }
+
+  const double useful =
+      static_cast<double>(work) * static_cast<double>(num_tasks);
+  const double capacity = static_cast<double>(res.makespan) *
+                          static_cast<double>(num_pes);
+  res.pe_utilization = capacity > 0 ? useful / capacity : 0;
+  const double overhead_time =
+      static_cast<double>(decision) * static_cast<double>(num_tasks) +
+      static_cast<double>(total_switch);
+  res.dispatch_overhead =
+      overhead_time / (useful + overhead_time);
+  return res;
+}
+
+}  // namespace rw::maps

@@ -1,0 +1,58 @@
+// OSIP — the task-dispatch ASIP cost model (Sec. IV).
+//
+// "in the future MAPS will also support a dedicated task dispatching ASIP
+// (OSIP) in order to enable higher PE utilization via more fine-grained
+// tasks and low context switching overhead. Early evaluation case studies
+// exhibited great potential of the OSIP approach in lowering the task-
+// switching overhead, compared to an additional RISC performing scheduling
+// in a typical MPSoC environment."
+//
+// The model dispatches a bag of `num_tasks` independent tasks of a given
+// grain onto `num_pes` workers through a scheduler that costs
+// `dispatch_cycles` per decision and runs at `scheduler_frequency`. A RISC
+// software scheduler both decides slowly and becomes the serialization
+// point; an OSIP decides in a handful of cycles. The experiment sweeps the
+// task grain: the finer the grain, the earlier the RISC scheduler's
+// dispatch rate saturates PE utilization.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace rw::maps {
+
+struct DispatcherModel {
+  const char* name = "scheduler";
+  Cycles dispatch_cycles = 1000;  // per scheduling decision
+  HertzT frequency = mhz(400);
+  /// Per-dispatch time the *worker PE* spends entering/leaving a task
+  /// (register save/restore etc.), in cycles at the worker clock.
+  Cycles pe_switch_cycles = 200;
+};
+
+/// A software scheduler on a spare RISC core: slow decisions, heavyweight
+/// context switches.
+DispatcherModel risc_dispatcher();
+
+/// The OSIP scheduling ASIP: decisions in tens of cycles, hardware-assisted
+/// context switch on the worker.
+DispatcherModel osip_dispatcher();
+
+struct DispatchResult {
+  TimePs makespan = 0;
+  double pe_utilization = 0;   // useful work / (PEs * makespan)
+  double dispatch_overhead = 0;  // scheduler+switch time fraction
+  std::uint64_t dispatches = 0;
+};
+
+/// Dispatch `num_tasks` tasks of `grain_cycles` each (at `pe_frequency`)
+/// onto `num_pes` workers through `model`. The scheduler is a single
+/// serial resource: decisions are pipelined with execution but at most one
+/// decision is in flight at a time.
+DispatchResult simulate_dispatch(std::uint64_t num_tasks,
+                                 Cycles grain_cycles, std::size_t num_pes,
+                                 HertzT pe_frequency,
+                                 const DispatcherModel& model);
+
+}  // namespace rw::maps

@@ -1,0 +1,254 @@
+#include "maps/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace rw::maps {
+
+double PartitionResult::bound_speedup(std::size_t pes) const {
+  if (total_cycles == 0 || pes == 0) return 1.0;
+  Cycles max_task = 0;
+  for (const auto& t : graph.tasks())
+    max_task = std::max(max_task, t.ref_cycles);
+  const double lower = std::max<double>(
+      {static_cast<double>(critical_path),
+       static_cast<double>(total_cycles) / static_cast<double>(pes),
+       static_cast<double>(max_task)});
+  return static_cast<double>(total_cycles) / lower;
+}
+
+namespace {
+
+/// Merge strongly connected components of the cluster digraph so the task
+/// graph is acyclic (iterative Tarjan).
+std::vector<std::size_t> condense_sccs(
+    std::size_t n, const std::map<std::pair<std::size_t, std::size_t>,
+                                  std::uint64_t>& edges) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [key, _] : edges) adj[key.first].push_back(key.second);
+
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> comp(n, SIZE_MAX);
+  int next_index = 0;
+  std::size_t comp_count = 0;
+
+  // Iterative Tarjan with an explicit frame stack.
+  struct Frame {
+    std::size_t v;
+    std::size_t child = 0;
+  };
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < adj[f.v].size()) {
+        const std::size_t w = adj[f.v][f.child++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back(Frame{w});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        if (low[f.v] == index[f.v]) {
+          // Pop one SCC.
+          for (;;) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = comp_count;
+            if (w == f.v) break;
+          }
+          ++comp_count;
+        }
+        const std::size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      }
+    }
+  }
+  return comp;
+}
+
+PartitionResult build_result(const SeqProgram& prog,
+                             std::vector<std::size_t> stmt_cluster,
+                             std::size_t cluster_count) {
+  // Condense any cycles among clusters (anti/output deps are ignored for
+  // cycle formation too — they are removed by privatization — but flow
+  // deps can still form cycles through bad placement).
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> flow_edges;
+  for (const auto& d : prog.dependences()) {
+    if (d.kind != DepKind::kFlow) continue;
+    const std::size_t a = stmt_cluster[d.src.index()];
+    const std::size_t b = stmt_cluster[d.dst.index()];
+    if (a != b) flow_edges[{a, b}] += d.bytes;
+  }
+  const auto comp = condense_sccs(cluster_count, flow_edges);
+
+  // Renumber components densely in order of first statement, so task
+  // numbering is stable and meaningful.
+  std::vector<std::size_t> dense(cluster_count, SIZE_MAX);
+  std::size_t next_dense = 0;
+  PartitionResult res;
+  std::vector<std::size_t> final_cluster(stmt_cluster.size());
+  for (std::size_t s = 0; s < stmt_cluster.size(); ++s) {
+    const std::size_t c = comp[stmt_cluster[s]];
+    if (dense[c] == SIZE_MAX) dense[c] = next_dense++;
+    final_cluster[s] = dense[c];
+  }
+
+  // Build tasks: aggregate cycles and a cost factor blended by the cycle
+  // weight of each statement kind.
+  struct Agg {
+    Cycles cycles = 0;
+    double weighted_dsp = 0, weighted_vliw = 0, weighted_asip = 0,
+           weighted_accel = 0;
+  };
+  std::vector<Agg> agg(next_dense);
+  for (std::size_t s = 0; s < final_cluster.size(); ++s) {
+    const Stmt& st = prog.stmts()[s];
+    Agg& a = agg[final_cluster[s]];
+    a.cycles += st.cycles;
+    const double w = static_cast<double>(st.cycles);
+    a.weighted_dsp += w * pe_cost_factor(st.kind, sim::PeClass::kDsp);
+    a.weighted_vliw += w * pe_cost_factor(st.kind, sim::PeClass::kVliw);
+    a.weighted_asip += w * pe_cost_factor(st.kind, sim::PeClass::kAsip);
+    a.weighted_accel += w * pe_cost_factor(st.kind, sim::PeClass::kAccel);
+  }
+  for (std::size_t c = 0; c < next_dense; ++c) {
+    const auto id = res.graph.add_task("task" + std::to_string(c),
+                                       agg[c].cycles);
+    auto& t = res.graph.task(id);
+    const double w = std::max(1.0, static_cast<double>(agg[c].cycles));
+    t.factor_dsp = agg[c].weighted_dsp / w;
+    t.factor_vliw = agg[c].weighted_vliw / w;
+    t.factor_asip = agg[c].weighted_asip / w;
+    t.factor_accel = agg[c].weighted_accel / w;
+  }
+
+  // Task edges: aggregate crossing flow-dep bytes.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> task_edges;
+  for (const auto& d : prog.dependences()) {
+    if (d.kind != DepKind::kFlow) continue;
+    const std::size_t a = final_cluster[d.src.index()];
+    const std::size_t b = final_cluster[d.dst.index()];
+    if (a != b) task_edges[{a, b}] += d.bytes;
+  }
+  for (const auto& [key, bytes] : task_edges) {
+    res.graph.add_edge(TaskNodeId{static_cast<std::uint32_t>(key.first)},
+                       TaskNodeId{static_cast<std::uint32_t>(key.second)},
+                       bytes);
+    res.cut_bytes += bytes;
+  }
+
+  res.stmt_to_task = std::move(final_cluster);
+  res.total_cycles = prog.total_cycles();
+  res.critical_path = prog.critical_path();
+  return res;
+}
+
+}  // namespace
+
+PartitionResult sequential_partition(const SeqProgram& prog) {
+  return build_result(prog,
+                      std::vector<std::size_t>(prog.stmts().size(), 0), 1);
+}
+
+PartitionResult partition_program(const SeqProgram& prog,
+                                  const PartitionConfig& cfg) {
+  const std::size_t k = std::max<std::size_t>(1, cfg.max_tasks);
+  const std::size_t n = prog.stmts().size();
+  if (n == 0 || k == 1) return sequential_partition(prog);
+
+  // Precompute, per statement, the flow-dep bytes from each predecessor.
+  std::vector<std::vector<std::pair<std::size_t, std::uint64_t>>> preds(n);
+  for (const auto& d : prog.dependences()) {
+    if (d.kind != DepKind::kFlow) continue;
+    preds[d.dst.index()].emplace_back(d.src.index(), d.bytes);
+  }
+
+  std::vector<std::size_t> cluster(n, SIZE_MAX);
+  std::vector<double> load(k, 0.0);
+  // Communication is priced at ~16 cycles per byte crossing a cut (a
+  // typical shared-memory copy cost), scaled by the config weight.
+  const double cycles_per_cut_byte = 16.0 * cfg.comm_weight;
+
+  // Cluster-level reachability closure: reach[a][b] = a can reach b in the
+  // cluster digraph. Placing a statement into cluster c adds edges p -> c
+  // from every predecessor cluster p; the placement is forbidden when c
+  // already reaches p (it would close a cycle and collapse under SCC
+  // condensation). This keeps the emitted task graph genuinely parallel.
+  std::vector<std::vector<bool>> reach(k, std::vector<bool>(k, false));
+  for (std::size_t c = 0; c < k; ++c) reach[c][c] = true;
+
+  auto creates_cycle = [&](std::size_t c,
+                           const std::vector<std::uint64_t>& pull) {
+    for (std::size_t p = 0; p < k; ++p)
+      if (pull[p] > 0 && p != c && reach[c][p]) return true;
+    return false;
+  };
+  auto add_edges = [&](std::size_t c,
+                       const std::vector<std::uint64_t>& pull) {
+    for (std::size_t p = 0; p < k; ++p) {
+      if (pull[p] == 0 || p == c || reach[p][c]) continue;
+      for (std::size_t i = 0; i < k; ++i) {
+        if (!reach[i][p]) continue;
+        for (std::size_t j = 0; j < k; ++j)
+          if (reach[c][j]) reach[i][j] = true;
+      }
+    }
+  };
+
+  for (std::size_t s = 0; s < n; ++s) {
+    // Bytes this statement pulls from each cluster if placed elsewhere.
+    std::vector<std::uint64_t> pull(k, 0);
+    for (const auto& [p, bytes] : preds[s]) pull[cluster[p]] += bytes;
+    const std::uint64_t pull_total =
+        std::accumulate(pull.begin(), pull.end(), std::uint64_t{0});
+
+    std::size_t best = SIZE_MAX;
+    double best_cost = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (creates_cycle(c, pull)) continue;
+      // Placement cost: resulting load plus the communication we'd cut.
+      const double cut = static_cast<double>(pull_total - pull[c]);
+      const double cost = load[c] +
+                          static_cast<double>(prog.stmts()[s].cycles) +
+                          cycles_per_cut_byte * cut;
+      if (best == SIZE_MAX || cost < best_cost) {
+        best = c;
+        best_cost = cost;
+      }
+    }
+    if (best == SIZE_MAX) {
+      // Every placement closes a cycle (can happen when all predecessors
+      // are mutually unreachable peers): fall back to the heaviest
+      // predecessor's cluster, which never adds a new edge set that was
+      // not already checked against — and merge later if needed.
+      std::uint64_t best_pull = 0;
+      best = 0;
+      for (std::size_t c = 0; c < k; ++c)
+        if (pull[c] >= best_pull) {
+          best_pull = pull[c];
+          best = c;
+        }
+    }
+    cluster[s] = best;
+    load[best] += static_cast<double>(prog.stmts()[s].cycles);
+    add_edges(best, pull);
+  }
+
+  return build_result(prog, std::move(cluster), k);
+}
+
+}  // namespace rw::maps

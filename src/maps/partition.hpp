@@ -1,0 +1,42 @@
+// Semi-automatic code partitioning (the MAPS core, Sec. IV / [1]).
+//
+// Turns a SeqProgram's dependence DAG into a task graph with at most
+// `max_tasks` tasks. The clustering heuristic walks statements in program
+// order and places each where it (a) keeps load balanced and (b) avoids
+// cutting heavy flow dependences; strongly-connected clusters are merged
+// afterwards so the resulting task graph is always acyclic. Anti/output
+// dependences crossing clusters are resolved by privatization (they cost
+// nothing), exactly as a parallelizing compiler would.
+#pragma once
+
+#include "maps/ir.hpp"
+#include "maps/taskgraph.hpp"
+
+namespace rw::maps {
+
+struct PartitionConfig {
+  std::size_t max_tasks = 4;
+  /// Relative weight of communication avoidance vs load balance in the
+  /// placement cost; 0 = pure load balancing.
+  double comm_weight = 8.0;
+};
+
+struct PartitionResult {
+  TaskGraph graph;
+  std::vector<std::size_t> stmt_to_task;  // statement index -> task index
+  Cycles total_cycles = 0;
+  Cycles critical_path = 0;
+  std::uint64_t cut_bytes = 0;  // flow-dep bytes crossing tasks
+
+  /// Speedup bound for this partition on p identical PEs (ignores
+  /// communication): total / max(critical path, total/p, max task).
+  [[nodiscard]] double bound_speedup(std::size_t pes) const;
+};
+
+PartitionResult partition_program(const SeqProgram& prog,
+                                  const PartitionConfig& cfg);
+
+/// Degenerate partition: everything in one task (the sequential baseline).
+PartitionResult sequential_partition(const SeqProgram& prog);
+
+}  // namespace rw::maps

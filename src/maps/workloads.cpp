@@ -1,0 +1,89 @@
+#include "maps/workloads.hpp"
+
+#include "common/strings.hpp"
+
+namespace rw::maps {
+
+SeqProgram jpeg_encoder_program(std::uint32_t blocks) {
+  SeqProgram p;
+  const VarId image = p.add_var("image", 64 * blocks * 3);
+  const VarId bitstream = p.add_var("bitstream", 4096);
+
+  // Per-block pipeline: each stage reads the previous stage's buffer.
+  std::vector<VarId> zz(blocks);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const VarId rgb = p.add_var(strformat("rgb%u", b), 192);
+    const VarId ycc = p.add_var(strformat("ycc%u", b), 192);
+    const VarId dct = p.add_var(strformat("dct%u", b), 256);
+    const VarId qnt = p.add_var(strformat("qnt%u", b), 256);
+    zz[b] = p.add_var(strformat("zz%u", b), 128);
+
+    p.add_stmt(strformat("load%u", b), 800, {image}, {rgb},
+               StmtKind::kGeneric);
+    p.add_stmt(strformat("ccvt%u", b), 2'500, {rgb}, {ycc},
+               StmtKind::kDspKernel);
+    p.add_stmt(strformat("dct%u", b), 9'000, {ycc}, {dct},
+               StmtKind::kDspKernel);
+    p.add_stmt(strformat("quant%u", b), 3'000, {dct}, {qnt},
+               StmtKind::kDspKernel);
+    p.add_stmt(strformat("zigzag%u", b), 1'200, {qnt}, {zz[b]},
+               StmtKind::kGeneric);
+  }
+  // Serial entropy coder: consumes every block's zigzag output in order,
+  // threading the bitstream state through (the Amdahl tail).
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    p.add_stmt(strformat("huff%u", b), 2'000, {zz[b], bitstream},
+               {bitstream}, StmtKind::kControl);
+  }
+  return p;
+}
+
+TaskGraph h264_encoder_taskgraph(std::uint32_t slices) {
+  TaskGraph g;
+  g.name = "h264enc";
+  const auto input = g.add_task("slice_reader", 20'000);
+  std::vector<TaskNodeId> deblocks;
+  for (std::uint32_t s = 0; s < slices; ++s) {
+    const auto me = g.add_task(strformat("motion_est%u", s), 180'000);
+    const auto intra = g.add_task(strformat("intra_pred%u", s), 60'000);
+    const auto tq = g.add_task(strformat("transform%u", s), 90'000);
+    const auto db = g.add_task(strformat("deblock%u", s), 45'000);
+    g.task(me).factor_dsp = 0.35;
+    g.task(tq).factor_dsp = 0.3;
+    g.task(intra).factor_dsp = 0.6;
+    g.task(db).factor_dsp = 0.5;
+    g.add_edge(input, me, 16 * 1024);
+    g.add_edge(input, intra, 8 * 1024);
+    g.add_edge(me, tq, 12 * 1024);
+    g.add_edge(intra, tq, 6 * 1024);
+    g.add_edge(tq, db, 12 * 1024);
+    deblocks.push_back(db);
+  }
+  const auto entropy = g.add_task("entropy_cabac", 120'000);
+  g.task(entropy).factor_dsp = 1.6;  // control-heavy: DSP is worse
+  for (const auto db : deblocks) g.add_edge(db, entropy, 10 * 1024);
+  return g;
+}
+
+SeqProgram mixed_kind_program(std::uint32_t kernels) {
+  SeqProgram p;
+  const VarId cfg = p.add_var("cfg", 64);
+  const VarId state = p.add_var("state", 64);
+  p.add_stmt("parse_cfg", 3'000, {cfg}, {state}, StmtKind::kControl);
+  std::vector<VarId> outs;
+  for (std::uint32_t k = 0; k < kernels; ++k) {
+    const VarId in = p.add_var(strformat("buf_in%u", k), 512);
+    const VarId out = p.add_var(strformat("buf_out%u", k), 512);
+    p.add_stmt(strformat("fill%u", k), 1'000, {state}, {in},
+               StmtKind::kGeneric);
+    p.add_stmt(strformat("fir%u", k), 12'000, {in}, {out},
+               StmtKind::kDspKernel);
+    outs.push_back(out);
+  }
+  const VarId result = p.add_var("result", 256);
+  std::vector<VarId> reads = outs;
+  p.add_stmt("combine", 2'500, reads, {result}, StmtKind::kControl);
+  return p;
+}
+
+}  // namespace rw::maps

@@ -1,0 +1,34 @@
+// Reference workloads for experiments and examples.
+//
+// Sec. IV's case study partitions a JPEG encoder; Sec. V's retargets an
+// H.264 encoder. These builders produce statement-IR models of those
+// applications with realistic stage weights and data volumes (profiled
+// shapes, not the codecs themselves — the partitioning/mapping problem
+// only sees weights and dependences, which is what we reproduce).
+#pragma once
+
+#include <cstdint>
+
+#include "maps/ir.hpp"
+#include "maps/taskgraph.hpp"
+
+namespace rw::maps {
+
+/// JPEG-encoder-like sequential program over `blocks` 8x8 macroblocks:
+/// per block: color convert -> DCT -> quantize -> zigzag, then a serial
+/// Huffman/bitstream stage folding everything together. Block pipelines
+/// are mutually independent (data parallelism); the entropy tail is the
+/// serial bottleneck.
+SeqProgram jpeg_encoder_program(std::uint32_t blocks = 16);
+
+/// H.264-encoder-like task graph (coarse grain, the CIC granularity):
+/// per-slice motion estimation / intra prediction / transform+quant /
+/// deblock, feeding a serial entropy coder. `slices` controls available
+/// parallelism.
+TaskGraph h264_encoder_taskgraph(std::uint32_t slices = 4);
+
+/// Small control-plus-DSP filter app used in heterogeneity tests: control
+/// statements prefer the RISC, kernels the DSP.
+SeqProgram mixed_kind_program(std::uint32_t kernels = 6);
+
+}  // namespace rw::maps

@@ -1,0 +1,140 @@
+// Mini-C abstract syntax tree.
+//
+// The Source Recoder (Sec. VI) operates on "applications written in a
+// C-based SLDL": it keeps an AST in sync with the text and applies
+// designer-invoked transformations to it. This AST covers the C subset
+// the recoding transformations need — scalars, fixed-size int arrays,
+// pointers, functions, for/while/if control flow — and is value-cloneable
+// so the transformation journal can snapshot cheaply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rw::recoder {
+
+// ----------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,   // value
+  kIdent,    // name
+  kBinary,   // op, kids[0] op kids[1]
+  kUnary,    // op, kids[0] (ops: -, !)
+  kIndex,    // kids[0] [ kids[1] ]
+  kDeref,    // * kids[0]
+  kAddrOf,   // & kids[0]
+  kCall,     // name(kids...)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLit;
+  std::int64_t value = 0;   // kIntLit
+  std::string name;         // kIdent, kCall
+  std::string op;           // kBinary, kUnary
+  std::vector<ExprPtr> kids;
+
+  [[nodiscard]] ExprPtr clone() const;
+  [[nodiscard]] bool equals(const Expr& other) const;
+};
+
+ExprPtr make_int(std::int64_t v);
+ExprPtr make_ident(std::string name);
+ExprPtr make_binary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr make_unary(std::string op, ExprPtr operand);
+ExprPtr make_index(ExprPtr base, ExprPtr index);
+ExprPtr make_deref(ExprPtr ptr);
+ExprPtr make_addrof(ExprPtr lv);
+ExprPtr make_call(std::string name, std::vector<ExprPtr> args);
+
+// ------------------------------------------------------------ statements
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kDecl,      // int name; / int name = init; / int name[size]; / int *name;
+  kAssign,    // lhs = rhs;  (lhs: ident, index, deref)
+  kExprStmt,  // expr; (typically a call)
+  kIf,        // cond, then_block, else_block (optional)
+  kFor,       // init (assign/decl), cond, step (assign), body
+  kWhile,     // cond, body
+  kReturn,    // expr (optional)
+  kBlock,     // body
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kBlock;
+  // kDecl
+  std::string name;
+  bool is_array = false;
+  std::int64_t array_size = 0;
+  bool is_pointer = false;
+  // kDecl init / kAssign rhs / kExprStmt expr / kReturn expr /
+  // kIf & kWhile & kFor cond:
+  ExprPtr expr;
+  ExprPtr lhs;  // kAssign target
+  // Control-flow children:
+  StmtPtr init;                 // kFor
+  StmtPtr step;                 // kFor
+  std::vector<StmtPtr> body;    // kBlock, kIf then, kFor, kWhile
+  std::vector<StmtPtr> orelse;  // kIf else
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+StmtPtr make_decl(std::string name, ExprPtr init = nullptr);
+StmtPtr make_array_decl(std::string name, std::int64_t size);
+StmtPtr make_pointer_decl(std::string name, ExprPtr init = nullptr);
+StmtPtr make_assign(ExprPtr lhs, ExprPtr rhs);
+StmtPtr make_expr_stmt(ExprPtr e);
+StmtPtr make_if(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr make_for(StmtPtr init, ExprPtr cond, StmtPtr step,
+                 std::vector<StmtPtr> body);
+StmtPtr make_while(ExprPtr cond, std::vector<StmtPtr> body);
+StmtPtr make_return(ExprPtr e);
+StmtPtr make_block(std::vector<StmtPtr> body);
+
+std::vector<StmtPtr> clone_body(const std::vector<StmtPtr>& body);
+
+// ------------------------------------------------------------- functions
+
+struct Param {
+  std::string name;
+  bool is_array = false;    // int name[] — passed by reference
+  bool is_pointer = false;  // int *name
+};
+
+struct Function {
+  std::string name;
+  bool returns_value = true;  // int f() vs void f()
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+
+  [[nodiscard]] Function clone() const;
+};
+
+struct Program {
+  std::vector<StmtPtr> globals;  // kDecl only
+  std::vector<Function> functions;
+
+  [[nodiscard]] Program clone() const;
+  [[nodiscard]] Function* find_function(const std::string& name);
+  [[nodiscard]] const Function* find_function(const std::string& name) const;
+};
+
+/// Visit every statement in a body tree, pre-order. The callback receives
+/// the owning vector and index so it can splice (visitation restarts after
+/// structural edits are the caller's concern).
+void for_each_stmt(std::vector<StmtPtr>& body,
+                   const std::function<void(Stmt&)>& fn);
+void for_each_expr(Stmt& s, const std::function<void(Expr&)>& fn);
+void for_each_expr_in_expr(Expr& e, const std::function<void(Expr&)>& fn);
+
+}  // namespace rw::recoder

@@ -1,0 +1,499 @@
+#include "recoder/parser.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace rw::recoder {
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+enum class Tok : std::uint8_t {
+  kEof, kInt, kIdent, kNumber, kVoid, kIf, kElse, kFor, kWhile, kReturn,
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kAssign, kPunct,  // kPunct: operators, in `text`
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  std::int64_t number = 0;
+  int line = 1;
+  int col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return cur_; }
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    skip_ws_comments();
+    cur_ = Token{};
+    cur_.line = line_;
+    cur_.col = col_;
+    if (pos_ >= src_.size()) {
+      cur_.kind = Tok::kEof;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        word += get();
+      static const std::map<std::string, Tok> kw{
+          {"int", Tok::kInt},     {"void", Tok::kVoid},
+          {"if", Tok::kIf},       {"else", Tok::kElse},
+          {"for", Tok::kFor},     {"while", Tok::kWhile},
+          {"return", Tok::kReturn}};
+      const auto it = kw.find(word);
+      cur_.kind = it != kw.end() ? it->second : Tok::kIdent;
+      cur_.text = std::move(word);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        v = v * 10 + (get() - '0');
+      cur_.kind = Tok::kNumber;
+      cur_.number = v;
+      return;
+    }
+    // Two-char operators first.
+    if (pos_ + 1 < src_.size()) {
+      const std::string two{src_[pos_], src_[pos_ + 1]};
+      if (two == "==" || two == "!=" || two == "<=" || two == ">=" ||
+          two == "&&" || two == "||") {
+        get();
+        get();
+        cur_.kind = Tok::kPunct;
+        cur_.text = two;
+        return;
+      }
+    }
+    get();
+    switch (c) {
+      case '(': cur_.kind = Tok::kLParen; return;
+      case ')': cur_.kind = Tok::kRParen; return;
+      case '{': cur_.kind = Tok::kLBrace; return;
+      case '}': cur_.kind = Tok::kRBrace; return;
+      case '[': cur_.kind = Tok::kLBracket; return;
+      case ']': cur_.kind = Tok::kRBracket; return;
+      case ';': cur_.kind = Tok::kSemi; return;
+      case ',': cur_.kind = Tok::kComma; return;
+      case '=': cur_.kind = Tok::kAssign; cur_.text = "="; return;
+      default:
+        cur_.kind = Tok::kPunct;
+        cur_.text = std::string(1, c);
+        return;
+    }
+  }
+
+  char get() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void skip_ws_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])))
+        get();
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') get();
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '*') {
+        get();
+        get();
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/'))
+          get();
+        if (pos_ + 1 < src_.size()) {
+          get();
+          get();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1, col_ = 1;
+  Token cur_;
+};
+
+// ----------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lex_(src) {}
+
+  Result<Program> parse() {
+    Program prog;
+    while (lex_.peek().kind != Tok::kEof) {
+      const Token head = lex_.peek();
+      if (head.kind != Tok::kInt && head.kind != Tok::kVoid)
+        return err("expected 'int' or 'void' at top level");
+      // Lookahead: int name ( => function; otherwise global decl.
+      auto saved = lex_;
+      lex_.take();  // type
+      bool pointer = false;
+      if (is_punct("*")) {
+        lex_.take();
+        pointer = true;
+      }
+      if (lex_.peek().kind != Tok::kIdent) return err("expected identifier");
+      lex_.take();  // name
+      const bool is_fn = lex_.peek().kind == Tok::kLParen;
+      lex_ = saved;  // rewind
+      (void)pointer;
+      if (is_fn) {
+        auto f = parse_function();
+        if (!f.ok()) return f.error();
+        prog.functions.push_back(std::move(f).take());
+      } else {
+        auto d = parse_decl();
+        if (!d.ok()) return d.error();
+        prog.globals.push_back(std::move(d).take());
+      }
+    }
+    return prog;
+  }
+
+  Result<ExprPtr> parse_single_expression() {
+    auto e = parse_expr();
+    if (!e.ok()) return e;
+    if (lex_.peek().kind != Tok::kEof) return err("trailing tokens");
+    return e;
+  }
+
+ private:
+  Error err(std::string msg) {
+    return make_error(std::move(msg), lex_.peek().line, lex_.peek().col);
+  }
+
+  [[nodiscard]] bool is_punct(std::string_view p) {
+    return lex_.peek().kind == Tok::kPunct && lex_.peek().text == p;
+  }
+
+  Status expect(Tok k, const char* what) {
+    if (lex_.peek().kind != k) return err(std::string("expected ") + what);
+    lex_.take();
+    return Status::ok_status();
+  }
+
+  Result<Function> parse_function() {
+    Function f;
+    f.returns_value = lex_.take().kind == Tok::kInt;
+    f.name = lex_.take().text;
+    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
+    if (lex_.peek().kind != Tok::kRParen) {
+      for (;;) {
+        if (auto s = expect(Tok::kInt, "'int' in parameter"); !s.ok())
+          return s.error();
+        Param p;
+        if (is_punct("*")) {
+          lex_.take();
+          p.is_pointer = true;
+        }
+        if (lex_.peek().kind != Tok::kIdent)
+          return err("expected parameter name");
+        p.name = lex_.take().text;
+        if (lex_.peek().kind == Tok::kLBracket) {
+          lex_.take();
+          if (auto s = expect(Tok::kRBracket, "']'"); !s.ok())
+            return s.error();
+          p.is_array = true;
+        }
+        f.params.push_back(std::move(p));
+        if (lex_.peek().kind != Tok::kComma) break;
+        lex_.take();
+      }
+    }
+    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+    auto body = parse_block();
+    if (!body.ok()) return body.error();
+    f.body = std::move(body).take();
+    return f;
+  }
+
+  Result<std::vector<StmtPtr>> parse_block() {
+    if (auto s = expect(Tok::kLBrace, "'{'"); !s.ok()) return s.error();
+    std::vector<StmtPtr> body;
+    while (lex_.peek().kind != Tok::kRBrace) {
+      if (lex_.peek().kind == Tok::kEof) return err("unterminated block");
+      auto st = parse_stmt();
+      if (!st.ok()) return st.error();
+      body.push_back(std::move(st).take());
+    }
+    lex_.take();
+    return body;
+  }
+
+  Result<StmtPtr> parse_decl() {
+    lex_.take();  // int
+    bool pointer = false;
+    if (is_punct("*")) {
+      lex_.take();
+      pointer = true;
+    }
+    if (lex_.peek().kind != Tok::kIdent) return err("expected name in decl");
+    const std::string name = lex_.take().text;
+    if (lex_.peek().kind == Tok::kLBracket) {
+      lex_.take();
+      if (lex_.peek().kind != Tok::kNumber)
+        return err("array size must be a literal");
+      const std::int64_t size = lex_.take().number;
+      if (auto s = expect(Tok::kRBracket, "']'"); !s.ok()) return s.error();
+      if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+      return make_array_decl(name, size);
+    }
+    ExprPtr init;
+    if (lex_.peek().kind == Tok::kAssign) {
+      lex_.take();
+      auto e = parse_expr();
+      if (!e.ok()) return e.error();
+      init = std::move(e).take();
+    }
+    if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+    return pointer ? make_pointer_decl(name, std::move(init))
+                   : make_decl(name, std::move(init));
+  }
+
+  Result<StmtPtr> parse_stmt() {
+    switch (lex_.peek().kind) {
+      case Tok::kInt: return parse_decl();
+      case Tok::kLBrace: {
+        auto b = parse_block();
+        if (!b.ok()) return b.error();
+        return make_block(std::move(b).take());
+      }
+      case Tok::kIf: return parse_if();
+      case Tok::kFor: return parse_for();
+      case Tok::kWhile: return parse_while();
+      case Tok::kReturn: {
+        lex_.take();
+        ExprPtr e;
+        if (lex_.peek().kind != Tok::kSemi) {
+          auto r = parse_expr();
+          if (!r.ok()) return r.error();
+          e = std::move(r).take();
+        }
+        if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+        return make_return(std::move(e));
+      }
+      default: {
+        auto st = parse_assign_or_expr();
+        if (!st.ok()) return st;
+        if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+        return st;
+      }
+    }
+  }
+
+  /// assignment or bare expression (no trailing ';').
+  Result<StmtPtr> parse_assign_or_expr() {
+    auto lhs = parse_expr();
+    if (!lhs.ok()) return lhs.error();
+    if (lex_.peek().kind == Tok::kAssign) {
+      lex_.take();
+      auto rhs = parse_expr();
+      if (!rhs.ok()) return rhs.error();
+      ExprPtr target = std::move(lhs).take();
+      if (target->kind != ExprKind::kIdent &&
+          target->kind != ExprKind::kIndex &&
+          target->kind != ExprKind::kDeref)
+        return err("invalid assignment target");
+      return make_assign(std::move(target), std::move(rhs).take());
+    }
+    return make_expr_stmt(std::move(lhs).take());
+  }
+
+  Result<StmtPtr> parse_if() {
+    lex_.take();
+    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
+    auto cond = parse_expr();
+    if (!cond.ok()) return cond.error();
+    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+    auto then_body = parse_block();
+    if (!then_body.ok()) return then_body.error();
+    std::vector<StmtPtr> else_body;
+    if (lex_.peek().kind == Tok::kElse) {
+      lex_.take();
+      auto e = parse_block();
+      if (!e.ok()) return e.error();
+      else_body = std::move(e).take();
+    }
+    return make_if(std::move(cond).take(), std::move(then_body).take(),
+                   std::move(else_body));
+  }
+
+  Result<StmtPtr> parse_for() {
+    lex_.take();
+    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
+    Result<StmtPtr> init = lex_.peek().kind == Tok::kInt
+                               ? parse_decl()  // consumes ';'
+                               : [&]() -> Result<StmtPtr> {
+                                   auto a = parse_assign_or_expr();
+                                   if (!a.ok()) return a;
+                                   if (auto s = expect(Tok::kSemi, "';'");
+                                       !s.ok())
+                                     return s.error();
+                                   return a;
+                                 }();
+    if (!init.ok()) return init;
+    auto cond = parse_expr();
+    if (!cond.ok()) return cond.error();
+    if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+    auto step = parse_assign_or_expr();
+    if (!step.ok()) return step;
+    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+    auto body = parse_block();
+    if (!body.ok()) return body.error();
+    return make_for(std::move(init).take(), std::move(cond).take(),
+                    std::move(step).take(), std::move(body).take());
+  }
+
+  Result<StmtPtr> parse_while() {
+    lex_.take();
+    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
+    auto cond = parse_expr();
+    if (!cond.ok()) return cond.error();
+    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+    auto body = parse_block();
+    if (!body.ok()) return body.error();
+    return make_while(std::move(cond).take(), std::move(body).take());
+  }
+
+  // Precedence-climbing expression parsing.
+  static int precedence(const std::string& op) {
+    if (op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "==" || op == "!=") return 3;
+    if (op == "<" || op == "<=" || op == ">" || op == ">=") return 4;
+    if (op == "+" || op == "-") return 5;
+    if (op == "*" || op == "/" || op == "%") return 6;
+    return 0;
+  }
+
+  Result<ExprPtr> parse_expr(int min_prec = 1) {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs).take();
+    while (lex_.peek().kind == Tok::kPunct) {
+      const int prec = precedence(lex_.peek().text);
+      if (prec < min_prec || prec == 0) break;
+      const std::string op = lex_.take().text;
+      auto rhs = parse_expr(prec + 1);
+      if (!rhs.ok()) return rhs;
+      e = make_binary(op, std::move(e), std::move(rhs).take());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (is_punct("-") || is_punct("!")) {
+      const std::string op = lex_.take().text;
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return make_unary(op, std::move(operand).take());
+    }
+    if (is_punct("*")) {
+      lex_.take();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return make_deref(std::move(operand).take());
+    }
+    if (is_punct("&")) {
+      lex_.take();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return make_addrof(std::move(operand).take());
+    }
+    return parse_postfix();
+  }
+
+  Result<ExprPtr> parse_postfix() {
+    auto prim = parse_primary();
+    if (!prim.ok()) return prim;
+    ExprPtr e = std::move(prim).take();
+    while (lex_.peek().kind == Tok::kLBracket) {
+      lex_.take();
+      auto idx = parse_expr();
+      if (!idx.ok()) return idx;
+      if (auto s = expect(Tok::kRBracket, "']'"); !s.ok()) return s.error();
+      e = make_index(std::move(e), std::move(idx).take());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parse_primary() {
+    const Token t = lex_.peek();
+    if (t.kind == Tok::kNumber) {
+      lex_.take();
+      return make_int(t.number);
+    }
+    if (t.kind == Tok::kIdent) {
+      lex_.take();
+      if (lex_.peek().kind == Tok::kLParen) {
+        lex_.take();
+        std::vector<ExprPtr> args;
+        if (lex_.peek().kind != Tok::kRParen) {
+          for (;;) {
+            auto a = parse_expr();
+            if (!a.ok()) return a;
+            args.push_back(std::move(a).take());
+            if (lex_.peek().kind != Tok::kComma) break;
+            lex_.take();
+          }
+        }
+        if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+        return make_call(t.text, std::move(args));
+      }
+      return make_ident(t.text);
+    }
+    if (t.kind == Tok::kLParen) {
+      lex_.take();
+      auto e = parse_expr();
+      if (!e.ok()) return e;
+      if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+      return e;
+    }
+    return err("expected expression");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Program> parse_program(std::string_view source) {
+  return Parser(source).parse();
+}
+
+Result<ExprPtr> parse_expression(std::string_view source) {
+  return Parser(source).parse_single_expression();
+}
+
+}  // namespace rw::recoder

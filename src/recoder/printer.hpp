@@ -1,0 +1,16 @@
+// Mini-C code generator (the recoder's Code Generator box, Fig. 3:
+// "a Code Generator synchronizes changes in the AST to the document").
+#pragma once
+
+#include <string>
+
+#include "recoder/ast.hpp"
+
+namespace rw::recoder {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_function(const Function& f);
+std::string print_program(const Program& p);
+
+}  // namespace rw::recoder

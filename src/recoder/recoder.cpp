@@ -1,0 +1,192 @@
+#include "recoder/recoder.hpp"
+
+namespace rw::recoder {
+
+Result<RecoderSession> RecoderSession::from_source(
+    std::string_view source) {
+  auto p = parse_program(source);
+  if (!p.ok()) return p.error();
+  return RecoderSession(std::move(p).take());
+}
+
+Result<Function*> RecoderSession::find_fn(Program& p,
+                                          const std::string& name) {
+  Function* f = p.find_function(name);
+  if (!f) return make_error("no function '" + name + "'");
+  return f;
+}
+
+Status RecoderSession::apply(std::string command,
+                             const std::function<Status(Program&)>& fn) {
+  Program copy = prog_.clone();
+  const std::string before = print_program(prog_);
+  const Status s = fn(copy);
+  JournalEntry entry;
+  entry.command = std::move(command);
+  entry.ok = s.ok();
+  if (s.ok()) {
+    entry.lines_changed = line_diff(before, print_program(copy));
+    undo_.push_back(std::move(prog_));
+    prog_ = std::move(copy);
+    redo_.clear();
+  } else {
+    entry.message = s.error().message;
+  }
+  journal_.push_back(std::move(entry));
+  return s;
+}
+
+Status RecoderSession::cmd_split_loop(const std::string& fn,
+                                      std::size_t loop, std::size_t parts) {
+  return apply(
+      "split_loop " + fn + " #" + std::to_string(loop) + " x" +
+          std::to_string(parts),
+      [&](Program& p) -> Status {
+        auto f = find_fn(p, fn);
+        if (!f.ok()) return f.error();
+        return split_loop(*f.value(), loop, parts);
+      });
+}
+
+Status RecoderSession::cmd_split_vector(const std::string& fn,
+                                        const std::string& array,
+                                        std::size_t parts) {
+  return apply("split_vector " + array + " x" + std::to_string(parts),
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return split_vector(p, *f.value(), array, parts);
+               });
+}
+
+Status RecoderSession::cmd_localize(const std::string& fn,
+                                    const std::string& var) {
+  return apply("localize " + var, [&](Program& p) -> Status {
+    auto f = find_fn(p, fn);
+    if (!f.ok()) return f.error();
+    return localize_variable(*f.value(), var);
+  });
+}
+
+Status RecoderSession::cmd_insert_channel(const std::string& fn,
+                                          const std::string& array,
+                                          std::int64_t channel_id) {
+  return apply("insert_channel " + array + " ch" +
+                   std::to_string(channel_id),
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return insert_channel(p, *f.value(), array, channel_id);
+               });
+}
+
+Status RecoderSession::cmd_pointer_to_index(const std::string& fn) {
+  return apply("pointer_to_index " + fn, [&](Program& p) -> Status {
+    auto f = find_fn(p, fn);
+    if (!f.ok()) return f.error();
+    return pointer_to_index(*f.value());
+  });
+}
+
+Status RecoderSession::cmd_prune_control(const std::string& fn) {
+  return apply("prune_control " + fn, [&](Program& p) -> Status {
+    auto f = find_fn(p, fn);
+    if (!f.ok()) return f.error();
+    return prune_control(*f.value());
+  });
+}
+
+Status RecoderSession::cmd_outline(const std::string& fn, std::size_t from,
+                                   std::size_t to,
+                                   const std::string& new_name) {
+  return apply("outline " + fn + "[" + std::to_string(from) + "," +
+                   std::to_string(to) + ") -> " + new_name,
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return outline_statements(p, *f.value(), from, to,
+                                           new_name);
+               });
+}
+
+Status RecoderSession::cmd_distribute_loop(const std::string& fn,
+                                           std::size_t loop) {
+  return apply("distribute_loop " + fn + " #" + std::to_string(loop),
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return distribute_loop(*f.value(), loop);
+               });
+}
+
+Status RecoderSession::cmd_fuse_loops(const std::string& fn,
+                                      std::size_t first_loop) {
+  return apply("fuse_loops " + fn + " #" + std::to_string(first_loop),
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return fuse_loops(*f.value(), first_loop);
+               });
+}
+
+Status RecoderSession::cmd_rename(const std::string& fn,
+                                  const std::string& old_name,
+                                  const std::string& new_name) {
+  return apply("rename " + old_name + " -> " + new_name,
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return rename_variable(p, *f.value(), old_name, new_name);
+               });
+}
+
+Status RecoderSession::cmd_unroll_loop(const std::string& fn,
+                                       std::size_t loop) {
+  return apply("unroll_loop " + fn + " #" + std::to_string(loop),
+               [&](Program& p) -> Status {
+                 auto f = find_fn(p, fn);
+                 if (!f.ok()) return f.error();
+                 return unroll_loop(*f.value(), loop);
+               });
+}
+
+Status RecoderSession::cmd_edit_text(std::string_view new_source) {
+  return apply("edit_text", [&](Program& p) -> Status {
+    auto parsed = parse_program(new_source);
+    if (!parsed.ok()) return parsed.error();
+    p = std::move(parsed).take();
+    return Status::ok_status();
+  });
+}
+
+bool RecoderSession::undo() {
+  if (undo_.empty()) return false;
+  redo_.push_back(std::move(prog_));
+  prog_ = std::move(undo_.back());
+  undo_.pop_back();
+  return true;
+}
+
+bool RecoderSession::redo() {
+  if (redo_.empty()) return false;
+  undo_.push_back(std::move(prog_));
+  prog_ = std::move(redo_.back());
+  redo_.pop_back();
+  return true;
+}
+
+std::size_t RecoderSession::total_lines_changed() const {
+  std::size_t n = 0;
+  for (const auto& e : journal_)
+    if (e.ok) n += e.lines_changed;
+  return n;
+}
+
+std::size_t RecoderSession::commands_applied() const {
+  std::size_t n = 0;
+  for (const auto& e : journal_)
+    if (e.ok) ++n;
+  return n;
+}
+
+}  // namespace rw::recoder

@@ -1,0 +1,99 @@
+// The interactive recoding session (Fig. 3 of the paper as code).
+//
+// The Source Recoder is "an intelligent union of editor, compiler, and
+// transformation and analysis tools": the session holds the AST (the
+// Document Object), exposes the transformation commands, regenerates
+// source text after every change (Code Generator), accepts direct text
+// edits (Text Editor + Parser path) and keeps a journal with undo/redo —
+// the designer-controlled workflow of Sec. VI. The journal records, per
+// command, the number of source lines the transformation changed: that is
+// the manual-editing effort the designer was spared, which experiment E8
+// aggregates into the paper's "up to two orders of magnitude" claim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "recoder/analysis.hpp"
+#include "recoder/ast.hpp"
+#include "recoder/interp.hpp"
+#include "recoder/parser.hpp"
+#include "recoder/printer.hpp"
+#include "recoder/transforms.hpp"
+
+namespace rw::recoder {
+
+class RecoderSession {
+ public:
+  explicit RecoderSession(Program p) : prog_(std::move(p)) {}
+
+  /// Open a session from source text (the Parser path of Fig. 3).
+  static Result<RecoderSession> from_source(std::string_view source);
+
+  [[nodiscard]] const Program& program() const { return prog_; }
+  /// Current source text (the Code Generator path of Fig. 3).
+  [[nodiscard]] std::string source() const { return print_program(prog_); }
+
+  // --- transformation commands (each journaled, undoable) ---
+  Status cmd_split_loop(const std::string& fn, std::size_t loop,
+                        std::size_t parts);
+  Status cmd_split_vector(const std::string& fn, const std::string& array,
+                          std::size_t parts);
+  Status cmd_localize(const std::string& fn, const std::string& var);
+  Status cmd_insert_channel(const std::string& fn, const std::string& array,
+                            std::int64_t channel_id);
+  Status cmd_pointer_to_index(const std::string& fn);
+  Status cmd_prune_control(const std::string& fn);
+  Status cmd_outline(const std::string& fn, std::size_t from, std::size_t to,
+                     const std::string& new_name);
+  Status cmd_distribute_loop(const std::string& fn, std::size_t loop);
+  Status cmd_fuse_loops(const std::string& fn, std::size_t first_loop);
+  Status cmd_rename(const std::string& fn, const std::string& old_name,
+                    const std::string& new_name);
+  Status cmd_unroll_loop(const std::string& fn, std::size_t loop);
+
+  /// Direct text edit: replace the whole document (the designer typing);
+  /// parse errors leave the session unchanged.
+  Status cmd_edit_text(std::string_view new_source);
+
+  // --- journal / undo ---
+  struct JournalEntry {
+    std::string command;
+    bool ok = false;
+    std::string message;       // error text when !ok
+    std::size_t lines_changed = 0;  // manual-equivalent effort
+  };
+  [[nodiscard]] const std::vector<JournalEntry>& journal() const {
+    return journal_;
+  }
+  bool undo();
+  bool redo();
+
+  /// Sum of lines_changed over successful commands — what the designer
+  /// would have edited by hand.
+  [[nodiscard]] std::size_t total_lines_changed() const;
+  /// Number of successful designer commands.
+  [[nodiscard]] std::size_t commands_applied() const;
+
+  /// Run the current program and compare against a reference result
+  /// (semantic-preservation probe the designer can invoke anytime).
+  [[nodiscard]] Result<InterpResult> execute(
+      const std::string& entry = "main",
+      const std::vector<std::int64_t>& args = {}) const {
+    return interpret(prog_, entry, args);
+  }
+
+ private:
+  Status apply(std::string command,
+               const std::function<Status(Program&)>& fn);
+  Result<Function*> find_fn(Program& p, const std::string& name);
+
+  Program prog_;
+  std::vector<Program> undo_;
+  std::vector<Program> redo_;
+  std::vector<JournalEntry> journal_;
+};
+
+}  // namespace rw::recoder

@@ -1,0 +1,114 @@
+#include "recoder/shared_report.hpp"
+
+#include "common/strings.hpp"
+
+namespace rw::recoder {
+
+const char* recommendation_name(Recommendation r) {
+  switch (r) {
+    case Recommendation::kSplittable: return "splittable";
+    case Recommendation::kChannelizable: return "channelizable";
+    case Recommendation::kKeepShared: return "keep-shared";
+    case Recommendation::kNotAnalyzable: return "not-analyzable";
+  }
+  return "?";
+}
+
+std::vector<ArrayReport> analyze_shared_accesses(const Program& prog,
+                                                 const Function& f) {
+  std::vector<ArrayReport> out;
+  for (const auto& g : prog.globals) {
+    if (!g->is_array) continue;
+    ArrayReport rep;
+    rep.array = g->name;
+    rep.size = g->array_size;
+
+    bool outside_loops = false;
+    std::size_t loop_idx = 0;
+    for (const auto& sp : f.body) {
+      const Stmt& s = *sp;
+      const VarUse u = stmt_uses(s);
+      const bool touches =
+          u.reads.count(rep.array) || u.writes.count(rep.array);
+      if (s.kind != StmtKind::kFor) {
+        if (touches) outside_loops = true;
+        continue;
+      }
+      if (touches) {
+        ArrayAccessSite site;
+        site.loop_index = loop_idx;
+        const VarUse bu = body_uses(s.body);
+        site.reads = bu.reads.count(rep.array) > 0;
+        site.writes = bu.writes.count(rep.array) > 0;
+        if (const auto cl = canonical_loop(s)) {
+          site.canonical = true;
+          site.lower = cl->lower;
+          site.upper = cl->upper;
+          site.index_disciplined =
+              array_accessed_only_at(s.body, rep.array, cl->var);
+        }
+        rep.sites.push_back(site);
+      }
+      ++loop_idx;
+    }
+
+    // Classify.
+    if (outside_loops || rep.sites.empty()) {
+      rep.recommendation = Recommendation::kNotAnalyzable;
+    } else {
+      bool all_disciplined = true;
+      for (const auto& s : rep.sites)
+        all_disciplined &= s.canonical && s.index_disciplined;
+      if (!all_disciplined) {
+        rep.recommendation = Recommendation::kNotAnalyzable;
+      } else if (rep.sites.size() == 2 && rep.sites[0].writes &&
+                 !rep.sites[0].reads && rep.sites[1].reads &&
+                 !rep.sites[1].writes &&
+                 rep.sites[0].lower == rep.sites[1].lower &&
+                 rep.sites[0].upper == rep.sites[1].upper) {
+        rep.recommendation = Recommendation::kChannelizable;
+      } else {
+        // Disjoint ranges across all sites => splittable partitions.
+        bool disjoint = true;
+        for (std::size_t i = 0; i < rep.sites.size() && disjoint; ++i)
+          for (std::size_t j = i + 1; j < rep.sites.size(); ++j) {
+            const auto& a = rep.sites[i];
+            const auto& b = rep.sites[j];
+            if (a.lower < b.upper && b.lower < a.upper) {
+              disjoint = false;
+              break;
+            }
+          }
+        rep.recommendation = disjoint ? Recommendation::kSplittable
+                                      : Recommendation::kKeepShared;
+      }
+    }
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+std::string render_report(const std::vector<ArrayReport>& reports) {
+  std::string s;
+  for (const auto& r : reports) {
+    s += strformat("array %s[%lld]: %s\n", r.array.c_str(),
+                   static_cast<long long>(r.size),
+                   recommendation_name(r.recommendation));
+    for (const auto& site : r.sites) {
+      s += strformat("  loop #%zu %s%s", site.loop_index,
+                     site.reads ? "R" : "", site.writes ? "W" : "");
+      if (site.canonical) {
+        s += strformat(" range [%lld,%lld)%s",
+                       static_cast<long long>(site.lower),
+                       static_cast<long long>(site.upper),
+                       site.index_disciplined ? " at loop var" : "");
+      } else {
+        s += " (non-canonical loop)";
+      }
+      s += "\n";
+    }
+  }
+  return s;
+}
+
+}  // namespace rw::recoder

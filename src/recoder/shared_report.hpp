@@ -1,0 +1,53 @@
+// Shared-data access analysis report (Sec. VI).
+//
+// "the designer uses her/his application knowledge and invokes re-coding
+// transformations to split loops into code partitions, *analyze shared
+// data accesses*, split vectors of shared data, ..."
+//
+// This is that middle step as a queryable report: for every array, which
+// top-level loops of a function read/write it, over which ranges, and
+// which recoding step (if any) the evidence supports. The recoder
+// presents it; the designer decides — "we rely on the designer to concur,
+// augment or overrule the analysis results".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "recoder/analysis.hpp"
+#include "recoder/ast.hpp"
+
+namespace rw::recoder {
+
+struct ArrayAccessSite {
+  std::size_t loop_index = 0;   // index among the function's top-level loops
+  bool canonical = false;       // loop has for(i=lit;i<lit;i=i+1) shape
+  std::int64_t lower = 0, upper = 0;  // when canonical
+  bool reads = false, writes = false;
+  bool index_disciplined = false;  // accessed exactly at the loop variable
+};
+
+enum class Recommendation : std::uint8_t {
+  kSplittable,       // disjoint loop-local accesses: split_vector applies
+  kChannelizable,    // one producer loop, one later consumer loop
+  kKeepShared,       // concurrent mixed access: needs real synchronization
+  kNotAnalyzable,    // used outside canonical loops / via pointers
+};
+
+const char* recommendation_name(Recommendation r);
+
+struct ArrayReport {
+  std::string array;
+  std::int64_t size = 0;
+  std::vector<ArrayAccessSite> sites;
+  Recommendation recommendation = Recommendation::kNotAnalyzable;
+};
+
+/// Analyze every global array as used by `f`.
+std::vector<ArrayReport> analyze_shared_accesses(const Program& prog,
+                                                 const Function& f);
+
+/// Human-readable rendering (what the recoder GUI pane would show).
+std::string render_report(const std::vector<ArrayReport>& reports);
+
+}  // namespace rw::recoder

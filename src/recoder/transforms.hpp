@@ -1,0 +1,95 @@
+// The recoding transformation catalog (Sec. VI).
+//
+// "the designer ... invokes re-coding transformations to split loops into
+// code partitions, analyze shared data accesses, split vectors of shared
+// data, localize variable accesses, and finally synchronize accesses to
+// shared data by inserting communication channels. Further, similar code
+// partitioning and data structure re-structuring transformations can be
+// used to expose pipelined parallelism ... Additionally, code
+// restructuring to prune the control structure of the code and pointer
+// recoding to replace pointer expressions can be used to enhance the
+// analyzability and synthesizability of the models."
+//
+// Every transformation is conservative: it verifies its safety conditions
+// and returns an error (leaving the program untouched) when they do not
+// hold, so the designer stays in control.
+#pragma once
+
+#include "common/result.hpp"
+#include "recoder/ast.hpp"
+
+namespace rw::recoder {
+
+/// Split the `loop_index`-th top-level canonical for-loop of `f` into
+/// `parts` consecutive loops over contiguous sub-ranges ("split loops
+/// into code partitions"). Requires a data-parallel canonical loop.
+Status split_loop(Function& f, std::size_t loop_index, std::size_t parts);
+
+/// Split global array `name` (size N) into `parts` sub-arrays name_0 ..
+/// name_{parts-1} and retarget every access ("split vectors of shared
+/// data"). Requires every access to lie in a canonical top-level loop of
+/// `f` whose range falls entirely inside one partition, indexed exactly by
+/// the loop variable.
+Status split_vector(Program& prog, Function& f, const std::string& name,
+                    std::size_t parts);
+
+/// Move a function-level scalar declaration into the loops that use it
+/// ("localize variable accesses"). Requires the variable to carry no
+/// value across loop boundaries (written before read in every using loop).
+Status localize_variable(Function& f, const std::string& name);
+
+/// Replace producer/consumer communication through array `name` with
+/// chan_send/chan_recv calls on channel `channel_id` ("synchronize
+/// accesses to shared data by inserting communication channels").
+/// Requires one top-level loop writing name[i] and a later top-level loop
+/// reading name[i], both canonical over the same range.
+Status insert_channel(Program& prog, Function& f, const std::string& name,
+                      std::int64_t channel_id);
+
+/// Rewrite pointer expressions over a constant base back into array
+/// indexing and drop the pointer ("pointer recoding"). Requires pointers
+/// initialized to `&arr[c]` or `arr` and never reassigned.
+Status pointer_to_index(Function& f);
+
+/// Fold literal conditions, drop dead branches and empty conditionals,
+/// and fold constant arithmetic ("prune the control structure").
+/// Always succeeds; reports how many nodes were removed via `removed`.
+Status prune_control(Function& f, std::size_t* removed = nullptr);
+
+/// Outline statements [from, to) of `f`'s top-level body into a new
+/// function `new_name` and replace them with a call. Requires all scalars
+/// written by the region to be declared inside it; arrays/globals pass by
+/// reference naturally.
+Status outline_statements(Program& prog, Function& f, std::size_t from,
+                          std::size_t to, const std::string& new_name);
+
+/// Loop distribution ("expose pipelined parallelism"): split a canonical
+/// loop whose body is a sequence of assignments into one loop per
+/// statement, expanding loop-local scalars into arrays where needed.
+Status distribute_loop(Function& f, std::size_t loop_index);
+
+/// Rename every use of local variable `old_name` in `f` to `new_name`
+/// (declaration included). Refuses when `new_name` is already used in the
+/// function or names a global of `prog`. The unglamorous transformation
+/// every interactive recoder needs (e.g. before fuse_loops on colliding
+/// locals).
+Status rename_variable(Program& prog, Function& f,
+                       const std::string& old_name,
+                       const std::string& new_name);
+
+/// Fully unroll a canonical loop with a small literal trip count: the
+/// body is replicated once per iteration with the induction variable
+/// substituted by its value. Improves "static analyzability" (Sec. VI) by
+/// removing the control structure entirely. Refuses trips > `max_trips`.
+Status unroll_loop(Function& f, std::size_t loop_index,
+                   std::int64_t max_trips = 32);
+
+/// Loop fusion — the inverse restructuring (merge two adjacent canonical
+/// loops over the same range into one). Legal when every array either
+/// loop touches is indexed exactly at the loop variable (so iteration i
+/// of the fused body sees exactly what iteration i of the second loop saw)
+/// and the loops are lexically adjacent. Reduces loop overhead and brings
+/// producer/consumer statements back together before a different split.
+Status fuse_loops(Function& f, std::size_t first_loop_index);
+
+}  // namespace rw::recoder

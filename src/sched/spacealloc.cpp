@@ -1,0 +1,119 @@
+#include "sched/spacealloc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace rw::sched {
+
+const char* arbitration_name(ArbitrationStrategy s) {
+  switch (s) {
+    case ArbitrationStrategy::kCentralized: return "centralized";
+    case ArbitrationStrategy::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+double GangResult::mean_response_us() const {
+  if (apps.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& a : apps)
+    sum += static_cast<double>(a.finish - a.arrival);
+  return sum / static_cast<double>(apps.size()) / 1e6;
+}
+
+double GangResult::throughput_apps_per_ms() const {
+  if (makespan == 0) return 0.0;
+  return static_cast<double>(apps.size()) /
+         (static_cast<double>(makespan) / 1e9);
+}
+
+GangResult run_gang_schedule(const GangConfig& cfg,
+                             std::vector<GangRequest> requests) {
+  if (cfg.total_cores == 0)
+    throw std::invalid_argument("gang pool needs cores");
+  const std::size_t num_arbiters =
+      cfg.strategy == ArbitrationStrategy::kCentralized
+          ? 1
+          : std::max<std::size_t>(1, cfg.arbiters);
+
+  for (const auto& r : requests)
+    if (r.app.min_cores > cfg.total_cores)
+      throw std::invalid_argument("app '" + r.app.name +
+                                  "' needs more cores than the pool has");
+
+  GangResult res;
+  res.apps.resize(requests.size());
+
+  // Event queue over arrivals and completions.
+  struct Event {
+    TimePs time;
+    bool is_completion;
+    std::size_t idx;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      // Completions before arrivals at the same instant frees cores first.
+      if (is_completion != o.is_completion) return !is_completion;
+      return idx > o.idx;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    res.apps[i].arrival = requests[i].arrival;
+    events.push(Event{requests[i].arrival, false, i});
+  }
+
+  std::size_t free_cores = cfg.total_cores;
+  std::deque<std::size_t> pending;  // FIFO admission
+  std::vector<TimePs> arbiter_free(num_arbiters, 0);
+
+  auto arbitrate = [&](std::size_t idx, TimePs now) -> TimePs {
+    // Each allocate/release passes through the arbiter owning this app.
+    const std::size_t a = idx % num_arbiters;
+    const TimePs start = std::max(now, arbiter_free[a]);
+    res.arbitration_wait += start - now;
+    arbiter_free[a] = start + cfg.arbitration_latency;
+    ++res.operations;
+    return arbiter_free[a];
+  };
+
+  auto try_allocate = [&](TimePs now) {
+    while (!pending.empty()) {
+      const std::size_t idx = pending.front();
+      const ParallelApp& app = requests[idx].app;
+      const std::size_t want = std::min(app.max_cores, free_cores);
+      if (want < app.min_cores || want == 0) break;  // head-of-line waits
+      pending.pop_front();
+      free_cores -= want;
+
+      const TimePs granted = arbitrate(idx, now);
+      const double span = app.span_cycles(want, cfg.serial_boost);
+      const DurationPs dur = cycles_to_ps(
+          static_cast<Cycles>(span + 0.5), cfg.core_frequency);
+      res.apps[idx].start = granted;
+      res.apps[idx].cores = want;
+      res.apps[idx].finish = granted + dur;
+      events.push(Event{granted + dur, true, idx});
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    if (ev.is_completion) {
+      // Release also passes through the arbiter; cores are free once the
+      // release operation completes.
+      const TimePs released = arbitrate(ev.idx, ev.time);
+      free_cores += res.apps[ev.idx].cores;
+      res.makespan = std::max(res.makespan, ev.time);
+      try_allocate(released);
+    } else {
+      pending.push_back(ev.idx);
+      try_allocate(ev.time);
+    }
+  }
+  return res;
+}
+
+}  // namespace rw::sched

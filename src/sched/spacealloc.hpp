@@ -1,0 +1,64 @@
+// Space-shared core allocation (gang scheduling).
+//
+// Sec. II-B: parallel software "shall be met with the allocation of
+// multiple space-shared cores completely dedicated to executing a single
+// application". The allocator here grants gangs from a core pool; its
+// arbitration can be *centralized* (one arbiter — the construct Sec. II-A
+// warns "inhibits scalability") or *distributed* (k independent arbiters).
+// Experiment E1 sweeps core count under both and shows where the
+// centralized curve flattens.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sched/task.hpp"
+
+namespace rw::sched {
+
+enum class ArbitrationStrategy : std::uint8_t {
+  kCentralized,  // one arbiter serializes every allocate/release
+  kDistributed,  // one arbiter per cluster of cores
+};
+
+const char* arbitration_name(ArbitrationStrategy s);
+
+struct GangRequest {
+  ParallelApp app;
+  TimePs arrival = 0;
+};
+
+struct GangResult {
+  struct PerApp {
+    TimePs arrival = 0;
+    TimePs start = 0;       // allocation granted (after arbitration)
+    TimePs finish = 0;
+    std::size_t cores = 0;  // gang size granted
+  };
+  std::vector<PerApp> apps;
+  TimePs makespan = 0;
+  DurationPs arbitration_wait = 0;  // total time requests waited on arbiters
+  std::uint64_t operations = 0;     // allocate + release operations
+
+  [[nodiscard]] double mean_response_us() const;
+  [[nodiscard]] double throughput_apps_per_ms() const;
+};
+
+struct GangConfig {
+  std::size_t total_cores = 16;
+  HertzT core_frequency = mhz(400);
+  ArbitrationStrategy strategy = ArbitrationStrategy::kDistributed;
+  std::size_t arbiters = 4;             // used when distributed
+  DurationPs arbitration_latency = microseconds(5);
+  double serial_boost = 1.0;            // DVFS boost for serial phases
+};
+
+/// Run all requests to completion (FIFO admission, no backfill — both
+/// strategies are handicapped identically, isolating arbitration cost).
+/// Gangs are moldable: an app receives min(max_cores, free) cores at grant
+/// time, but never fewer than min_cores.
+GangResult run_gang_schedule(const GangConfig& cfg,
+                             std::vector<GangRequest> requests);
+
+}  // namespace rw::sched

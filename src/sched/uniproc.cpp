@@ -1,0 +1,207 @@
+#include "sched/uniproc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "sched/analysis.hpp"
+
+namespace rw::sched {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFixedPriority: return "FP";
+    case Policy::kRateMonotonic: return "RM";
+    case Policy::kDeadlineMonotonic: return "DM";
+    case Policy::kEdf: return "EDF";
+    case Policy::kRoundRobin: return "RR";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr TimePs kNever = std::numeric_limits<TimePs>::max();
+
+struct ActiveJob {
+  std::size_t task_index;
+  std::uint64_t job_index;
+  TimePs release;
+  TimePs abs_deadline;
+  DurationPs remaining;    // remaining execution, in ps at the core clock
+  std::uint64_t fifo_seq;  // arrival order, for RR and tie-breaking
+};
+
+}  // namespace
+
+UniprocResult simulate_uniproc(const TaskSet& ts, DurationPs horizon,
+                               const UniprocConfig& cfg, const AcetFn& acet) {
+  TaskSet set = ts;  // local copy so policy priority assignment is private
+  switch (cfg.policy) {
+    case Policy::kRateMonotonic: assign_rm_priorities(set); break;
+    case Policy::kDeadlineMonotonic: assign_dm_priorities(set); break;
+    default: break;
+  }
+
+  const HertzT f = set.frequency;
+  const DurationPs overhead_ps = cycles_to_ps(cfg.switch_overhead, f);
+
+  UniprocResult res;
+  res.tasks.resize(set.tasks.size());
+  res.horizon = horizon;
+
+  std::vector<TimePs> next_release(set.tasks.size(), 0);
+  std::vector<std::uint64_t> release_count(set.tasks.size(), 0);
+  std::vector<double> response_sum(set.tasks.size(), 0.0);
+
+  std::vector<ActiveJob> ready;
+  std::uint64_t fifo_seq = 0;
+  // Index of the job that last occupied the core; a dispatch of a
+  // different job costs a context switch.
+  std::int64_t last_on_core_task = -1;
+  std::uint64_t last_on_core_job = UINT64_MAX;
+
+  // Ordering predicate: true when a should run before b.
+  auto higher = [&](const ActiveJob& a, const ActiveJob& b) {
+    switch (cfg.policy) {
+      case Policy::kEdf:
+        if (a.abs_deadline != b.abs_deadline)
+          return a.abs_deadline < b.abs_deadline;
+        return a.fifo_seq < b.fifo_seq;
+      case Policy::kRoundRobin:
+        return a.fifo_seq < b.fifo_seq;
+      default: {
+        const int pa = set.tasks[a.task_index].fixed_priority;
+        const int pb = set.tasks[b.task_index].fixed_priority;
+        if (pa != pb) return pa < pb;
+        return a.fifo_seq < b.fifo_seq;
+      }
+    }
+  };
+
+  auto release_due = [&](TimePs t) {
+    for (std::size_t i = 0; i < set.tasks.size(); ++i) {
+      const RtTask& task = set.tasks[i];
+      if (task.period == 0) continue;
+      while (next_release[i] <= t) {
+        const TimePs rel = next_release[i];
+        const std::uint64_t idx = release_count[i]++;
+        const Cycles demand = acet ? acet(task, idx) : task.wcet;
+        ready.push_back(ActiveJob{i, idx, rel,
+                                  rel + task.effective_deadline(),
+                                  cycles_to_ps(demand, f), fifo_seq++});
+        ++res.tasks[i].released;
+        next_release[i] = rel + task.period;
+      }
+    }
+  };
+
+  auto earliest_release = [&] {
+    TimePs t = kNever;
+    for (std::size_t i = 0; i < set.tasks.size(); ++i)
+      if (set.tasks[i].period != 0) t = std::min(t, next_release[i]);
+    return t;
+  };
+
+  auto complete = [&](const ActiveJob& job, TimePs t) {
+    auto& pt = res.tasks[job.task_index];
+    ++pt.completed;
+    const DurationPs resp = t - job.release;
+    pt.worst_response = std::max(pt.worst_response, resp);
+    response_sum[job.task_index] += static_cast<double>(resp);
+    if (t > job.abs_deadline) ++pt.deadline_misses;
+  };
+
+  TimePs t = 0;
+  while (t < horizon) {
+    release_due(t);
+
+    if (ready.empty()) {
+      const TimePs nr = earliest_release();
+      if (nr == kNever || nr >= horizon) break;
+      t = nr;
+      continue;
+    }
+
+    // Dispatch the best ready job.
+    auto best_it = std::min_element(ready.begin(), ready.end(), higher);
+    ActiveJob job = *best_it;
+    ready.erase(best_it);
+
+    const bool switched = last_on_core_task !=
+                              static_cast<std::int64_t>(job.task_index) ||
+                          last_on_core_job != job.job_index;
+    if (switched) {
+      ++res.context_switches;
+      if (overhead_ps > 0) {
+        t += overhead_ps;
+        res.busy_time += overhead_ps;
+      }
+      last_on_core_task = static_cast<std::int64_t>(job.task_index);
+      last_on_core_job = job.job_index;
+    }
+
+    // The job runs until completion, the next release (which may preempt),
+    // the RR quantum, or the horizon — whichever comes first.
+    const TimePs completion = t + job.remaining;
+    TimePs stop = std::min(completion, horizon);
+    const TimePs nr = earliest_release();
+    bool preemption_point = false;
+    if (cfg.policy != Policy::kRoundRobin && nr < stop) {
+      stop = nr;
+      preemption_point = true;
+    }
+    bool quantum_expiry = false;
+    if (cfg.policy == Policy::kRoundRobin &&
+        t + cfg.rr_quantum < stop) {
+      stop = t + cfg.rr_quantum;
+      quantum_expiry = true;
+    }
+
+    const DurationPs ran = stop - t;
+    res.busy_time += ran;
+    job.remaining -= ran;
+    t = stop;
+
+    if (job.remaining == 0) {
+      complete(job, t);
+      continue;
+    }
+    if (t >= horizon) break;
+
+    if (preemption_point) {
+      // New arrivals land now; if one outranks the running job this is a
+      // preemption, otherwise the job simply continues next iteration.
+      release_due(t);
+      bool outranked = false;
+      for (const auto& other : ready)
+        if (higher(other, job)) {
+          outranked = true;
+          break;
+        }
+      if (outranked) ++res.preemptions;
+      ready.push_back(job);
+      continue;
+    }
+    if (quantum_expiry) {
+      job.fifo_seq = fifo_seq++;  // rotate to the back of the FIFO
+      ready.push_back(job);
+      continue;
+    }
+    ready.push_back(job);
+  }
+
+  // Jobs still unfinished whose deadline fell inside the horizon missed it.
+  for (const auto& job : ready)
+    if (job.abs_deadline <= horizon)
+      ++res.tasks[job.task_index].deadline_misses;
+
+  for (std::size_t i = 0; i < res.tasks.size(); ++i) {
+    if (res.tasks[i].completed > 0)
+      res.tasks[i].mean_response =
+          response_sum[i] / static_cast<double>(res.tasks[i].completed);
+  }
+  return res;
+}
+
+}  // namespace rw::sched

@@ -1,0 +1,71 @@
+// Preemptive uniprocessor scheduler simulation.
+//
+// The executable counterpart of analysis.hpp: run a task set under a
+// policy and observe response times, deadline misses and context-switch
+// counts. Tests cross-validate the two (an analysis-accepted set must not
+// miss in simulation — the soundness property), and the OSIP experiment
+// (Sec. IV) sweeps the switch-overhead parameter that separates a RISC
+// software scheduler from a dispatch ASIP.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace rw::sched {
+
+enum class Policy : std::uint8_t {
+  kFixedPriority,      // use RtTask::fixed_priority as-is
+  kRateMonotonic,      // assign RM priorities, then fixed-priority
+  kDeadlineMonotonic,  // assign DM priorities, then fixed-priority
+  kEdf,                // earliest absolute deadline first
+  kRoundRobin,         // FIFO with quantum, no priorities
+};
+
+const char* policy_name(Policy p);
+
+/// Per-job actual execution time hook: returns the cycles a given release
+/// really needs (default: WCET). Used for jitter and overrun injection.
+using AcetFn = std::function<Cycles(const RtTask&, std::uint64_t job_index)>;
+
+struct UniprocResult {
+  struct PerTask {
+    std::uint64_t released = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_misses = 0;
+    DurationPs worst_response = 0;
+    double mean_response = 0;  // ps
+  };
+  std::vector<PerTask> tasks;
+  std::uint64_t preemptions = 0;
+  std::uint64_t context_switches = 0;
+  DurationPs busy_time = 0;
+  DurationPs horizon = 0;
+
+  [[nodiscard]] std::uint64_t total_misses() const {
+    std::uint64_t n = 0;
+    for (const auto& t : tasks) n += t.deadline_misses;
+    return n;
+  }
+  [[nodiscard]] double utilization() const {
+    return horizon == 0 ? 0.0
+                        : static_cast<double>(busy_time) /
+                              static_cast<double>(horizon);
+  }
+};
+
+struct UniprocConfig {
+  Policy policy = Policy::kRateMonotonic;
+  Cycles switch_overhead = 0;        // cycles per context switch
+  DurationPs rr_quantum = microseconds(100);
+};
+
+/// Simulate `ts` on one core at ts.frequency for `horizon` picoseconds.
+/// `acet` overrides per-job execution demand (may exceed WCET to model
+/// overruns). Deterministic.
+UniprocResult simulate_uniproc(const TaskSet& ts, DurationPs horizon,
+                               const UniprocConfig& cfg = {},
+                               const AcetFn& acet = {});
+
+}  // namespace rw::sched

@@ -1,0 +1,166 @@
+// Bounded blocking channels between simulation processes.
+//
+// Channels are the asynchronous-message primitive the paper's Sec. II
+// programming model is built on ("de-coupled threads of execution,
+// communicating using asynchronous messages") and the inter-task channel
+// of the CIC model (Sec. V). send() blocks when the buffer is full — the
+// back-pressure that Sec. III's data-driven execution relies on — and
+// recv() blocks when it is empty.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/kernel.hpp"
+
+namespace rw::sim {
+
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` is the number of in-flight messages the buffer holds;
+  /// it must be at least 1.
+  Channel(Kernel& kernel, std::size_t capacity, std::string name = "chan")
+      : kernel_(kernel), capacity_(capacity), name_(std::move(name)) {
+    assert(capacity_ >= 1);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  struct SendAwaitable {
+    Channel& ch;
+    T value;
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() {
+      if (ch.try_deliver_direct(value)) return true;
+      if (ch.buffer_.size() < ch.capacity_) {
+        ch.buffer_.push_back(std::move(value));
+        ++ch.total_sent_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.send_waiters_.push_back(this);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct RecvAwaitable {
+    Channel& ch;
+    std::optional<T> value{};
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() {
+      if (!ch.buffer_.empty()) {
+        value = std::move(ch.buffer_.front());
+        ch.buffer_.pop_front();
+        ++ch.total_received_;
+        ch.refill_from_sender();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch.recv_waiters_.push_back(this);
+    }
+    T await_resume() {
+      assert(value.has_value());
+      return std::move(*value);
+    }
+  };
+
+  /// co_await ch.send(v): enqueue v, blocking while the buffer is full.
+  [[nodiscard]] SendAwaitable send(T value) {
+    return SendAwaitable{*this, std::move(value)};
+  }
+
+  /// co_await ch.recv(): dequeue the oldest message, blocking while empty.
+  [[nodiscard]] RecvAwaitable recv() { return RecvAwaitable{*this}; }
+
+  /// Non-blocking probes (used by schedulers and the data-driven executor).
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] bool empty() const { return buffer_.empty(); }
+  [[nodiscard]] bool full() const { return buffer_.size() >= capacity_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_received() const {
+    return total_received_;
+  }
+
+  /// Non-blocking send; returns false if it would have blocked.
+  bool try_send(T value) {
+    if (try_deliver_direct(value)) return true;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(value));
+      ++total_sent_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (buffer_.empty()) return std::nullopt;
+    T v = std::move(buffer_.front());
+    buffer_.pop_front();
+    ++total_received_;
+    refill_from_sender();
+    return v;
+  }
+
+ private:
+  friend struct SendAwaitable;
+  friend struct RecvAwaitable;
+
+  /// Hand `value` straight to a blocked receiver, if any. Returns true when
+  /// delivered. The receiver is resumed via a kernel event at the current
+  /// time so that send() is never re-entered by receiver code.
+  bool try_deliver_direct(T& value) {
+    if (recv_waiters_.empty()) return false;
+    RecvAwaitable* waiter = recv_waiters_.front();
+    recv_waiters_.pop_front();
+    waiter->value = std::move(value);
+    ++total_sent_;
+    ++total_received_;
+    auto h = waiter->handle;
+    kernel_.schedule_at(kernel_.now(), [h] {
+      if (!h.done()) h.resume();
+    });
+    return true;
+  }
+
+  /// After a buffer slot frees up, move one blocked sender's message in.
+  void refill_from_sender() {
+    if (send_waiters_.empty() || buffer_.size() >= capacity_) return;
+    SendAwaitable* waiter = send_waiters_.front();
+    send_waiters_.pop_front();
+    buffer_.push_back(std::move(waiter->value));
+    ++total_sent_;
+    auto h = waiter->handle;
+    kernel_.schedule_at(kernel_.now(), [h] {
+      if (!h.done()) h.resume();
+    });
+  }
+
+  Kernel& kernel_;
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> buffer_;
+  std::deque<SendAwaitable*> send_waiters_;
+  std::deque<RecvAwaitable*> recv_waiters_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_received_ = 0;
+};
+
+}  // namespace rw::sim

@@ -1,0 +1,57 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+namespace rw::sim {
+
+const char* pe_class_name(PeClass c) {
+  switch (c) {
+    case PeClass::kRisc: return "RISC";
+    case PeClass::kDsp: return "DSP";
+    case PeClass::kVliw: return "VLIW";
+    case PeClass::kAsip: return "ASIP";
+    case PeClass::kAccel: return "ACCEL";
+  }
+  return "?";
+}
+
+void Core::set_frequency(HertzT f) {
+  if (f == freq_) return;
+  tracer_.record(kernel_.now(), TraceKind::kFreqChange, id_, "dvfs", f,
+                 freq_);
+  freq_ = f;
+}
+
+std::pair<TimePs, TimePs> Core::reserve(Cycles cycles) {
+  return reserve_from(kernel_.now(), cycles);
+}
+
+std::pair<TimePs, TimePs> Core::reserve_from(TimePs earliest, Cycles cycles) {
+  const TimePs start = std::max({earliest, kernel_.now(), busy_until_});
+  const DurationPs dur = cycles_to_ps(cycles, freq_);
+  const TimePs finish = start + dur;
+  busy_until_ = finish;
+  cycles_executed_ += cycles;
+  busy_time_ += dur;
+  return {start, finish};
+}
+
+void Core::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
+  auto [start, end] = core.reserve(cycles);
+  finish = end;
+  // Record trace events at their proper timestamps (via kernel events) so
+  // the trace stays chronological even when several cores overlap.
+  core.kernel_.schedule_at(start, [this] {
+    core.current_label_ = label;
+    core.tracer_.record(core.kernel_.now(), TraceKind::kComputeStart,
+                        core.id_, label, cycles, 0);
+  });
+  core.kernel_.schedule_at(end, [this, h] {
+    core.tracer_.record(core.kernel_.now(), TraceKind::kComputeEnd, core.id_,
+                        label, cycles, 0);
+    core.current_label_ = "<idle>";
+    h.resume();
+  });
+}
+
+}  // namespace rw::sim

@@ -1,0 +1,115 @@
+// Transaction-level processor core model.
+//
+// Cores execute work measured in cycles; the model captures exactly the
+// properties the paper's arguments depend on — per-core frequency that can
+// be changed at run time ("frequency variability per core", Sec. II-A),
+// a PE class for heterogeneous platforms (Sec. IV/V), serialization of
+// work submitted to the same core, and architectural state a debugger can
+// inspect while the system is suspended (Sec. VII).
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/units.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::sim {
+
+/// Processing-element class. Heterogeneous platforms mix these; the
+/// homogeneous-ISA platforms of Sec. II use kRisc everywhere.
+enum class PeClass : std::uint8_t { kRisc, kDsp, kVliw, kAsip, kAccel };
+
+const char* pe_class_name(PeClass c);
+
+class Core {
+ public:
+  Core(Kernel& kernel, Tracer& tracer, CoreId id, PeClass cls, HertzT freq)
+      : kernel_(kernel),
+        tracer_(tracer),
+        id_(id),
+        cls_(cls),
+        freq_(freq),
+        nominal_freq_(freq) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  [[nodiscard]] CoreId id() const { return id_; }
+  [[nodiscard]] PeClass pe_class() const { return cls_; }
+  [[nodiscard]] HertzT frequency() const { return freq_; }
+  [[nodiscard]] HertzT nominal_frequency() const { return nominal_freq_; }
+
+  /// DVFS: change the clock. Affects work reserved after this call; work
+  /// already in flight completes at the old rate (a conservative model of
+  /// PLL relock). Traced as kFreqChange.
+  void set_frequency(HertzT f);
+
+  /// Reserve the core for `cycles` of work starting no earlier than now.
+  /// Returns {start, finish} in simulated time; the core is busy until
+  /// `finish`. Work submitted while busy queues FIFO behind it.
+  std::pair<TimePs, TimePs> reserve(Cycles cycles);
+
+  /// As reserve(), but the work starts no earlier than `earliest`.
+  std::pair<TimePs, TimePs> reserve_from(TimePs earliest, Cycles cycles);
+
+  /// Awaitable: run `cycles` of computation labelled `label` on this core.
+  struct ComputeAwaitable {
+    Core& core;
+    Cycles cycles;
+    std::string label;
+    TimePs finish = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] ComputeAwaitable compute(Cycles cycles,
+                                         std::string label = "work") {
+    return ComputeAwaitable{*this, cycles, std::move(label)};
+  }
+
+  /// Time at which the core next becomes idle.
+  [[nodiscard]] TimePs busy_until() const { return busy_until_; }
+  [[nodiscard]] bool idle_at(TimePs t) const { return busy_until_ <= t; }
+
+  /// Total cycles executed and busy time (for utilization reports).
+  [[nodiscard]] Cycles cycles_executed() const { return cycles_executed_; }
+  [[nodiscard]] DurationPs busy_time() const { return busy_time_; }
+  [[nodiscard]] double utilization(TimePs horizon) const {
+    return horizon == 0 ? 0.0
+                        : static_cast<double>(busy_time_) /
+                              static_cast<double>(horizon);
+  }
+
+  /// Architectural state visible to the debugger while suspended.
+  static constexpr std::size_t kNumRegs = 16;
+  [[nodiscard]] std::uint64_t reg(std::size_t i) const { return regs_.at(i); }
+  void set_reg(std::size_t i, std::uint64_t v) { regs_.at(i) = v; }
+  [[nodiscard]] const std::string& current_label() const {
+    return current_label_;
+  }
+
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+ private:
+  Kernel& kernel_;
+  Tracer& tracer_;
+  CoreId id_;
+  PeClass cls_;
+  HertzT freq_;
+  HertzT nominal_freq_;
+  TimePs busy_until_ = 0;
+  Cycles cycles_executed_ = 0;
+  DurationPs busy_time_ = 0;
+  std::array<std::uint64_t, kNumRegs> regs_{};
+  std::string current_label_ = "<idle>";
+};
+
+}  // namespace rw::sim

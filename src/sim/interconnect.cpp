@@ -1,0 +1,149 @@
+#include "sim/interconnect.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace rw::sim {
+
+// ---------------------------------------------------------------- SharedBus
+
+DurationPs SharedBus::transfer_duration(std::uint64_t bytes) const {
+  const std::uint64_t beats =
+      (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
+  return cycles_to_ps(cfg_.arbitration_cycles + beats, cfg_.frequency);
+}
+
+std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId /*src*/,
+                                                      CoreId /*dst*/,
+                                                      std::uint64_t bytes,
+                                                      TimePs earliest) {
+  const TimePs ready = std::max(earliest, kernel_.now());
+  const TimePs start = std::max(ready, busy_until_);
+  contention_ += start - ready;
+  const TimePs finish = start + transfer_duration(bytes);
+  busy_until_ = finish;
+  ++transfers_;
+  return {start, finish};
+}
+
+DurationPs SharedBus::nominal_latency(CoreId, CoreId,
+                                      std::uint64_t bytes) const {
+  return transfer_duration(bytes);
+}
+
+std::string SharedBus::describe() const {
+  return strformat("shared-bus(%s, %uB wide)", format_hz(cfg_.frequency).c_str(),
+                   cfg_.width_bytes);
+}
+
+// ------------------------------------------------------------------ MeshNoc
+
+MeshNoc::MeshNoc(Kernel& kernel, Config cfg) : kernel_(kernel), cfg_(cfg) {
+  if (cfg_.width == 0 || cfg_.height == 0)
+    throw std::invalid_argument("mesh dimensions must be positive");
+  // Four directed links per node is an upper bound; unused slots stay idle.
+  link_busy_until_.assign(
+      static_cast<std::size_t>(cfg_.width) * cfg_.height * 4, 0);
+}
+
+MeshNoc::Coord MeshNoc::coord_of(CoreId c) const {
+  const std::uint32_t idx = c.value() % (cfg_.width * cfg_.height);
+  return Coord{idx % cfg_.width, idx / cfg_.width};
+}
+
+std::size_t MeshNoc::link_index(Coord from, Coord to) const {
+  // Direction encoding: 0=+x, 1=-x, 2=+y, 3=-y.
+  std::size_t dir = 0;
+  if (to.x == from.x + 1) {
+    dir = 0;
+  } else if (from.x == to.x + 1) {
+    dir = 1;
+  } else if (to.y == from.y + 1) {
+    dir = 2;
+  } else if (from.y == to.y + 1) {
+    dir = 3;
+  } else {
+    throw std::logic_error("link_index: nodes are not neighbours");
+  }
+  const std::size_t node = from.y * cfg_.width + from.x;
+  return node * 4 + dir;
+}
+
+std::vector<std::size_t> MeshNoc::route(CoreId src, CoreId dst) const {
+  std::vector<std::size_t> links;
+  Coord cur = coord_of(src);
+  const Coord end = coord_of(dst);
+  // X first, then Y (deterministic, deadlock-free dimension ordering).
+  while (cur.x != end.x) {
+    const Coord next{cur.x < end.x ? cur.x + 1 : cur.x - 1, cur.y};
+    links.push_back(link_index(cur, next));
+    cur = next;
+  }
+  while (cur.y != end.y) {
+    const Coord next{cur.x, cur.y < end.y ? cur.y + 1 : cur.y - 1};
+    links.push_back(link_index(cur, next));
+    cur = next;
+  }
+  return links;
+}
+
+std::uint32_t MeshNoc::hop_count(CoreId src, CoreId dst) const {
+  const Coord a = coord_of(src);
+  const Coord b = coord_of(dst);
+  const auto dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const auto dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+DurationPs MeshNoc::serialization_time(std::uint64_t bytes) const {
+  const std::uint64_t flits =
+      (bytes + cfg_.link_width_bytes - 1) / cfg_.link_width_bytes;
+  return cycles_to_ps(std::max<std::uint64_t>(flits, 1),
+                      cfg_.link_frequency);
+}
+
+std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
+                                                    std::uint64_t bytes,
+                                                    TimePs earliest) {
+  const TimePs ready = std::max(earliest, kernel_.now());
+  if (src == dst) {
+    // Local delivery: no links used.
+    ++transfers_;
+    return {ready, ready};
+  }
+  // Store-and-forward per hop: each link is reserved in sequence for the
+  // message's serialization time plus the hop latency.
+  const DurationPs ser = serialization_time(bytes);
+  TimePs t = ready;
+  TimePs first_start = 0;
+  bool first = true;
+  for (const std::size_t link : route(src, dst)) {
+    const TimePs start = std::max(t, link_busy_until_[link]);
+    if (first) {
+      first_start = start;
+      contention_ += start - ready;
+      first = false;
+    }
+    const TimePs done = start + ser + cfg_.hop_latency;
+    link_busy_until_[link] = done;
+    t = done;
+  }
+  ++transfers_;
+  return {first_start, t};
+}
+
+DurationPs MeshNoc::nominal_latency(CoreId src, CoreId dst,
+                                    std::uint64_t bytes) const {
+  const std::uint32_t hops = hop_count(src, dst);
+  if (hops == 0) return 0;
+  return hops * (serialization_time(bytes) + cfg_.hop_latency);
+}
+
+std::string MeshNoc::describe() const {
+  return strformat("mesh-noc(%ux%u, %s links)", cfg_.width, cfg_.height,
+                   format_hz(cfg_.link_frequency).c_str());
+}
+
+}  // namespace rw::sim

@@ -1,0 +1,115 @@
+// On-chip interconnect models: shared bus and 2-D mesh NoC.
+//
+// Sec. II-A asks for a "scalable, fast and low-latency chip interconnect"
+// and warns that centralized constructs inhibit scalability. Both claims
+// need a contention model to be testable: the shared bus serializes all
+// traffic (the centralized construct), the mesh distributes it. Transfers
+// are modelled transactionally: a reservation returns start/finish times
+// honouring prior traffic on each resource.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::sim {
+
+/// Abstract transfer fabric between cores.
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// Reserve fabric resources for a `bytes`-sized transfer from core
+  /// `src` to core `dst` starting no earlier than `earliest`.
+  /// Returns {start, finish}.
+  virtual std::pair<TimePs, TimePs> reserve_transfer(CoreId src, CoreId dst,
+                                                     std::uint64_t bytes,
+                                                     TimePs earliest) = 0;
+
+  /// Pure latency (no contention) of such a transfer, for planners.
+  [[nodiscard]] virtual DurationPs nominal_latency(
+      CoreId src, CoreId dst, std::uint64_t bytes) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Aggregate time transfers spent waiting for busy fabric resources.
+  [[nodiscard]] DurationPs total_contention() const { return contention_; }
+  [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
+
+ protected:
+  DurationPs contention_ = 0;
+  std::uint64_t transfers_ = 0;
+};
+
+/// Single shared bus: every transfer serializes through one arbiter —
+/// the archetypal "centralized construct".
+class SharedBus final : public Interconnect {
+ public:
+  struct Config {
+    HertzT frequency = mhz(200);
+    std::uint32_t width_bytes = 8;     // bytes moved per bus cycle
+    Cycles arbitration_cycles = 4;     // per-transfer arbitration overhead
+  };
+
+  SharedBus(Kernel& kernel, Config cfg) : kernel_(kernel), cfg_(cfg) {}
+
+  std::pair<TimePs, TimePs> reserve_transfer(CoreId src, CoreId dst,
+                                             std::uint64_t bytes,
+                                             TimePs earliest) override;
+  [[nodiscard]] DurationPs nominal_latency(
+      CoreId src, CoreId dst, std::uint64_t bytes) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  [[nodiscard]] DurationPs transfer_duration(std::uint64_t bytes) const;
+
+  Kernel& kernel_;
+  Config cfg_;
+  TimePs busy_until_ = 0;
+};
+
+/// 2-D mesh NoC with dimension-ordered (XY) routing and per-link
+/// serialization; distributed by construction.
+class MeshNoc final : public Interconnect {
+ public:
+  struct Config {
+    std::uint32_t width = 4;         // mesh columns
+    std::uint32_t height = 4;        // mesh rows
+    DurationPs hop_latency = nanoseconds(5);
+    HertzT link_frequency = mhz(500);
+    std::uint32_t link_width_bytes = 4;
+  };
+
+  MeshNoc(Kernel& kernel, Config cfg);
+
+  std::pair<TimePs, TimePs> reserve_transfer(CoreId src, CoreId dst,
+                                             std::uint64_t bytes,
+                                             TimePs earliest) override;
+  [[nodiscard]] DurationPs nominal_latency(
+      CoreId src, CoreId dst, std::uint64_t bytes) const override;
+  [[nodiscard]] std::string describe() const override;
+
+  /// Number of mesh hops between two cores (XY route length).
+  [[nodiscard]] std::uint32_t hop_count(CoreId src, CoreId dst) const;
+
+ private:
+  struct Coord {
+    std::uint32_t x, y;
+  };
+  [[nodiscard]] Coord coord_of(CoreId c) const;
+  /// Directed link index from node (x,y) towards a neighbour.
+  [[nodiscard]] std::size_t link_index(Coord from, Coord to) const;
+  [[nodiscard]] std::vector<std::size_t> route(CoreId src, CoreId dst) const;
+  [[nodiscard]] DurationPs serialization_time(std::uint64_t bytes) const;
+
+  Kernel& kernel_;
+  Config cfg_;
+  std::vector<TimePs> link_busy_until_;
+};
+
+}  // namespace rw::sim

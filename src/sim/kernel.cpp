@@ -1,0 +1,53 @@
+#include "sim/kernel.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace rw::sim {
+
+void Kernel::schedule_at(TimePs t, EventFn fn, int priority) {
+  if (t < now_)
+    throw std::logic_error("Kernel::schedule_at: time travels backwards");
+  queue_.push(Entry{t, priority, seq_++, std::move(fn)});
+}
+
+void Kernel::schedule_in(DurationPs d, EventFn fn, int priority) {
+  schedule_at(now_ + d, std::move(fn), priority);
+}
+
+bool Kernel::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Entry e = queue_.top();
+  queue_.pop();
+  assert(e.time >= now_);
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Kernel::run(std::uint64_t max_events) {
+  stop_requested_ = false;
+  std::uint64_t budget = max_events;
+  while (budget-- > 0 && !stop_requested_ && step()) {
+  }
+}
+
+void Kernel::run_until(TimePs t) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  if (now_ < t && !stop_requested_) now_ = t;
+}
+
+Kernel::~Kernel() {
+  // Processes suspend at final_suspend (see process.hpp), so every adopted
+  // handle — finished or not — is still valid here and owned by the kernel.
+  for (auto h : adopted_) {
+    if (h) h.destroy();
+  }
+}
+
+}  // namespace rw::sim

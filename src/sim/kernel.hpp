@@ -1,0 +1,96 @@
+// Discrete-event simulation kernel.
+//
+// The kernel is the time base for the whole toolkit: the MPSoC platform
+// model (Sec. VII's "virtual platform"), the scheduling experiments
+// (Sec. II), and the dataflow executors (Sec. III) all advance time by
+// posting events here. Determinism is a design requirement — two runs with
+// the same seed must produce identical event orders (the foundation of the
+// non-intrusive-debugging claims) — so ties in time are broken by an
+// explicit priority and then by insertion sequence, never by heap
+// implementation details.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rw::sim {
+
+using EventFn = std::function<void()>;
+
+/// Central event queue and simulated clock.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now). Lower `priority`
+  /// runs first among events at the same timestamp.
+  void schedule_at(TimePs t, EventFn fn, int priority = 0);
+
+  /// Schedule `fn` after a relative delay.
+  void schedule_in(DurationPs d, EventFn fn, int priority = 0);
+
+  /// Execute the single next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains, `request_stop()` is called, or the event
+  /// budget is exhausted (a safety net against runaway simulations).
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Run events with timestamp <= `t`, then set now to `t`.
+  void run_until(TimePs t);
+
+  /// Ask run()/run_until() to return after the current event.
+  void request_stop() { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+  void clear_stop() { stop_requested_ = false; }
+
+  /// Number of events executed so far (a cheap progress/determinism probe).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  /// Timestamp of the next pending event; UINT64_MAX when empty.
+  [[nodiscard]] TimePs next_event_time() const {
+    return queue_.empty() ? UINT64_MAX : queue_.top().time;
+  }
+
+  /// Register a coroutine handle owned by the kernel; it is destroyed at
+  /// kernel destruction if still suspended. See process.hpp.
+  void adopt(std::coroutine_handle<> h) { adopted_.push_back(h); }
+
+  ~Kernel();
+
+ private:
+  struct Entry {
+    TimePs time;
+    int priority;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimePs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::vector<std::coroutine_handle<>> adopted_;
+};
+
+}  // namespace rw::sim

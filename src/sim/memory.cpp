@@ -1,0 +1,144 @@
+#include "sim/memory.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace rw::sim {
+
+RegionId MemorySystem::add_region(std::string name, Addr base,
+                                  std::uint64_t size, Cycles access_latency,
+                                  CoreId owner) {
+  for (const auto& r : regions_) {
+    const bool overlaps = base < r.base + r.size && r.base < base + size;
+    if (overlaps)
+      throw std::invalid_argument("memory region '" + name + "' overlaps '" +
+                                  r.name + "'");
+  }
+  Region r;
+  r.id = RegionId{static_cast<std::uint32_t>(regions_.size())};
+  r.name = std::move(name);
+  r.base = base;
+  r.size = size;
+  r.access_latency = access_latency;
+  r.owner = owner;
+  r.bytes.assign(size, 0);
+  regions_.push_back(std::move(r));
+  return regions_.back().id;
+}
+
+const Region* MemorySystem::find_region(Addr a) const {
+  for (const auto& r : regions_)
+    if (a >= r.base && a < r.base + r.size) return &r;
+  return nullptr;
+}
+
+Cycles MemorySystem::latency_for(Addr a) const {
+  const Region* r = find_region(a);
+  return r ? r->access_latency : 1;
+}
+
+Region& MemorySystem::region_for(Addr a, std::uint64_t len, CoreId core,
+                                 bool is_write) {
+  for (auto& r : regions_) {
+    if (!r.contains(a, len)) continue;
+    if (enforce_locality_ && r.is_local() && core.is_valid() &&
+        r.owner != core) {
+      ++locality_violations_;
+      tracer_.record(kernel_.now(),
+                     is_write ? TraceKind::kMemWrite : TraceKind::kMemRead,
+                     core, "LOCALITY_VIOLATION:" + r.name, a, len);
+      throw std::runtime_error(strformat(
+          "locality violation: core%u accessed %s (owned by core%u)",
+          core.value(), r.name.c_str(), r.owner.value()));
+    }
+    return r;
+  }
+  tracer_.record(kernel_.now(),
+                 is_write ? TraceKind::kMemWrite : TraceKind::kMemRead, core,
+                 "ILLEGAL_ACCESS", a, len);
+  throw std::out_of_range(
+      strformat("illegal access to unmapped address 0x%llx (%llu bytes)",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(len)));
+}
+
+void MemorySystem::notify(const MemAccess& acc) {
+  for (auto& o : observers_)
+    if (o) o(acc);
+}
+
+std::uint64_t MemorySystem::read_u64(CoreId core, Addr a) {
+  Region& r = region_for(a, 8, core, /*is_write=*/false);
+  std::uint64_t v = 0;
+  std::memcpy(&v, r.bytes.data() + (a - r.base), 8);
+  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  notify(MemAccess{kernel_.now(), core, a, 8, false, v});
+  return v;
+}
+
+void MemorySystem::write_u64(CoreId core, Addr a, std::uint64_t v) {
+  Region& r = region_for(a, 8, core, /*is_write=*/true);
+  std::memcpy(r.bytes.data() + (a - r.base), &v, 8);
+  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  notify(MemAccess{kernel_.now(), core, a, 8, true, v});
+}
+
+std::uint32_t MemorySystem::read_u32(CoreId core, Addr a) {
+  Region& r = region_for(a, 4, core, /*is_write=*/false);
+  std::uint32_t v = 0;
+  std::memcpy(&v, r.bytes.data() + (a - r.base), 4);
+  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  notify(MemAccess{kernel_.now(), core, a, 4, false, v});
+  return v;
+}
+
+void MemorySystem::write_u32(CoreId core, Addr a, std::uint32_t v) {
+  Region& r = region_for(a, 4, core, /*is_write=*/true);
+  std::memcpy(r.bytes.data() + (a - r.base), &v, 4);
+  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  notify(MemAccess{kernel_.now(), core, a, 4, true, v});
+}
+
+void MemorySystem::read_block(CoreId core, Addr a,
+                              std::span<std::uint8_t> out) {
+  Region& r = region_for(a, out.size(), core, /*is_write=*/false);
+  std::memcpy(out.data(), r.bytes.data() + (a - r.base), out.size());
+  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a,
+                 out.size());
+  notify(MemAccess{kernel_.now(), core, a,
+                   static_cast<std::uint32_t>(out.size()), false, 0});
+}
+
+void MemorySystem::write_block(CoreId core, Addr a,
+                               std::span<const std::uint8_t> in) {
+  Region& r = region_for(a, in.size(), core, /*is_write=*/true);
+  std::memcpy(r.bytes.data() + (a - r.base), in.data(), in.size());
+  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a,
+                 in.size());
+  notify(MemAccess{kernel_.now(), core, a,
+                   static_cast<std::uint32_t>(in.size()), true, 0});
+}
+
+void MemorySystem::poke(Addr a, std::span<const std::uint8_t> in) {
+  for (auto& r : regions_) {
+    if (r.contains(a, in.size())) {
+      std::memcpy(r.bytes.data() + (a - r.base), in.data(), in.size());
+      return;
+    }
+  }
+  throw std::out_of_range("poke outside mapped memory");
+}
+
+void MemorySystem::peek(Addr a, std::span<std::uint8_t> out) const {
+  for (const auto& r : regions_) {
+    if (r.contains(a, out.size())) {
+      std::memcpy(out.data(), r.bytes.data() + (a - r.base), out.size());
+      return;
+    }
+  }
+  throw std::out_of_range("peek outside mapped memory");
+}
+
+}  // namespace rw::sim

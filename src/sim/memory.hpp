@@ -1,0 +1,124 @@
+// Platform memory model.
+//
+// Sec. II argues for "strict enforcement of locality, at least for on-chip
+// memory": per-core scratchpads plus an optional small shared region. The
+// model backs every region with real bytes so that races, corruption and
+// debugger inspection (Sec. VII: "illegal access to memories ... can be
+// easily identified") are observable facts, not abstractions. Locality
+// enforcement is optional and, when enabled, faults any access by a core to
+// another core's local memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::sim {
+
+using Addr = std::uint64_t;
+
+struct RegionTag {};
+using RegionId = Id<RegionTag>;
+
+/// One mapped memory region.
+struct Region {
+  RegionId id{};
+  std::string name;
+  Addr base = 0;
+  std::uint64_t size = 0;
+  Cycles access_latency = 1;   // cycles per access at the accessing core
+  CoreId owner{};              // valid => core-local scratchpad
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] bool contains(Addr a, std::uint64_t len) const {
+    return a >= base && a + len <= base + size;
+  }
+  [[nodiscard]] bool is_local() const { return owner.is_valid(); }
+};
+
+/// A memory access, as seen by watchpoint observers and the race detector.
+struct MemAccess {
+  TimePs time = 0;
+  CoreId core{};
+  Addr addr = 0;
+  std::uint32_t size = 0;
+  bool is_write = false;
+  std::uint64_t value = 0;  // value written / value read
+};
+
+/// Address-mapped collection of regions with access observers.
+class MemorySystem {
+ public:
+  MemorySystem(Kernel& kernel, Tracer& tracer)
+      : kernel_(kernel), tracer_(tracer) {}
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Map a new region; `base` must not overlap an existing region.
+  RegionId add_region(std::string name, Addr base, std::uint64_t size,
+                      Cycles access_latency, CoreId owner = CoreId{});
+
+  [[nodiscard]] const Region* find_region(Addr a) const;
+  [[nodiscard]] const Region& region(RegionId id) const {
+    return regions_.at(id.index());
+  }
+  [[nodiscard]] const std::vector<Region>& regions() const {
+    return regions_;
+  }
+
+  /// When enabled, a core touching another core's local region is a
+  /// locality violation: the access is counted and (configurably) faulted.
+  void set_enforce_locality(bool on) { enforce_locality_ = on; }
+  [[nodiscard]] std::uint64_t locality_violations() const {
+    return locality_violations_;
+  }
+
+  /// Typed accessors. Addresses must fall inside a mapped region; access
+  /// outside any region throws (the "illegal access" of Sec. VII is
+  /// reported through the trace before the throw).
+  std::uint64_t read_u64(CoreId core, Addr a);
+  void write_u64(CoreId core, Addr a, std::uint64_t v);
+  std::uint32_t read_u32(CoreId core, Addr a);
+  void write_u32(CoreId core, Addr a, std::uint32_t v);
+  void read_block(CoreId core, Addr a, std::span<std::uint8_t> out);
+  void write_block(CoreId core, Addr a, std::span<const std::uint8_t> in);
+
+  /// Latency of one access to the region containing `a`, in cycles at the
+  /// accessing core (the caller turns this into time at its frequency).
+  [[nodiscard]] Cycles latency_for(Addr a) const;
+
+  /// Observers run synchronously on every access (debugger watchpoints,
+  /// race detector). Return value ignored; observers may stop the kernel.
+  using Observer = std::function<void(const MemAccess&)>;
+  std::size_t add_observer(Observer fn) {
+    observers_.push_back(std::move(fn));
+    return observers_.size() - 1;
+  }
+  void clear_observers() { observers_.clear(); }
+
+  /// Raw (unobserved, zero-latency) access for loaders and checkers.
+  void poke(Addr a, std::span<const std::uint8_t> in);
+  void peek(Addr a, std::span<std::uint8_t> out) const;
+
+ private:
+  Region& region_for(Addr a, std::uint64_t len, CoreId core, bool is_write);
+  void notify(const MemAccess& acc);
+
+  Kernel& kernel_;
+  Tracer& tracer_;
+  std::vector<Region> regions_;
+  std::vector<Observer> observers_;
+  bool enforce_locality_ = false;
+  std::uint64_t locality_violations_ = 0;
+};
+
+}  // namespace rw::sim

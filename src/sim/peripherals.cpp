@@ -1,0 +1,331 @@
+#include "sim/peripherals.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+#include "sim/interconnect.hpp"
+
+namespace rw::sim {
+
+// ----------------------------------------------------- InterruptController
+
+InterruptController::InterruptController(Kernel& kernel, Tracer& tracer)
+    : Peripheral("irqc"), kernel_(kernel), tracer_(tracer) {
+  lines_.reserve(kNumLines);
+  for (std::size_t i = 0; i < kNumLines; ++i)
+    lines_.push_back(std::make_unique<Signal>(strformat("irq%zu", i)));
+  handlers_.resize(kNumLines);
+}
+
+void InterruptController::raise(std::size_t line) {
+  if (line >= kNumLines) throw std::out_of_range("irq line out of range");
+  ++raised_count_;
+  pending_ |= (1ULL << line);
+  lines_[line]->raise();
+  tracer_.record(kernel_.now(), TraceKind::kIrqRaise, CoreId{}, name(), line,
+                 is_masked(line));
+  if (!is_masked(line)) dispatch(line);
+}
+
+void InterruptController::dispatch(std::size_t line) {
+  if (!handlers_[line]) return;
+  // Dispatch as a kernel event so handler code never runs re-entrantly
+  // inside the raising peripheral.
+  kernel_.schedule_at(kernel_.now(), [this, line] {
+    if (is_pending(line) && !is_masked(line) && handlers_[line])
+      handlers_[line](line);
+  });
+}
+
+void InterruptController::ack(std::size_t line) {
+  if (line >= kNumLines) throw std::out_of_range("irq line out of range");
+  pending_ &= ~(1ULL << line);
+  lines_[line]->lower();
+  tracer_.record(kernel_.now(), TraceKind::kIrqAck, CoreId{}, name(), line,
+                 0);
+}
+
+void InterruptController::set_masked(std::size_t line, bool masked) {
+  if (line >= kNumLines) throw std::out_of_range("irq line out of range");
+  const bool was_masked = is_masked(line);
+  if (masked) {
+    mask_ |= (1ULL << line);
+  } else {
+    mask_ &= ~(1ULL << line);
+    // Unmasking a pending line delivers the interrupt now (Sec. VII's
+    // wrongly-masked interrupt becomes visible the moment the mask drops).
+    if (was_masked && is_pending(line)) dispatch(line);
+  }
+}
+
+bool InterruptController::is_masked(std::size_t line) const {
+  return (mask_ >> line) & 1ULL;
+}
+
+bool InterruptController::is_pending(std::size_t line) const {
+  return (pending_ >> line) & 1ULL;
+}
+
+void InterruptController::set_handler(std::size_t line, Handler fn) {
+  handlers_.at(line) = std::move(fn);
+}
+
+std::uint64_t InterruptController::read_reg(std::size_t index) const {
+  switch (index) {
+    case kRegPending: return pending_;
+    case kRegMask: return mask_;
+    case kRegRaisedCount: return raised_count_;
+    default: throw std::out_of_range("irqc register index");
+  }
+}
+
+void InterruptController::write_reg(std::size_t index, std::uint64_t value) {
+  switch (index) {
+    case kRegMask:
+      for (std::size_t line = 0; line < kNumLines; ++line)
+        set_masked(line, (value >> line) & 1ULL);
+      break;
+    case kRegPending:
+      // Write-one-to-clear semantics.
+      for (std::size_t line = 0; line < kNumLines; ++line)
+        if ((value >> line) & 1ULL) ack(line);
+      break;
+    default:
+      throw std::out_of_range("irqc register not writable");
+  }
+}
+
+std::vector<RegInfo> InterruptController::registers() const {
+  return {{"PENDING", kRegPending},
+          {"MASK", kRegMask},
+          {"RAISED_COUNT", kRegRaisedCount}};
+}
+
+std::vector<Signal*> InterruptController::signals() {
+  std::vector<Signal*> out;
+  out.reserve(lines_.size());
+  for (auto& l : lines_) out.push_back(l.get());
+  return out;
+}
+
+// --------------------------------------------------------- TimerPeripheral
+
+TimerPeripheral::TimerPeripheral(Kernel& kernel, Tracer& tracer,
+                                 InterruptController& irqc,
+                                 std::size_t irq_line, std::string name)
+    : Peripheral(std::move(name)),
+      kernel_(kernel),
+      tracer_(tracer),
+      irqc_(irqc),
+      irq_line_(irq_line),
+      expired_(Peripheral::name() + ".expired") {}
+
+void TimerPeripheral::start_periodic(DurationPs period) {
+  if (period == 0) throw std::invalid_argument("timer period must be > 0");
+  period_ = period;
+  periodic_ = true;
+  running_ = true;
+  ++generation_;
+  schedule_fire();
+}
+
+void TimerPeripheral::start_oneshot(DurationPs delay) {
+  if (delay == 0) throw std::invalid_argument("timer delay must be > 0");
+  period_ = delay;
+  periodic_ = false;
+  running_ = true;
+  ++generation_;
+  schedule_fire();
+}
+
+void TimerPeripheral::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void TimerPeripheral::schedule_fire() {
+  const std::uint64_t gen = generation_;
+  kernel_.schedule_in(period_, [this, gen] {
+    if (gen != generation_ || !running_) return;  // cancelled/restarted
+    ++fire_count_;
+    expired_.pulse();
+    irqc_.raise(irq_line_);
+    if (periodic_) {
+      schedule_fire();
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+std::uint64_t TimerPeripheral::read_reg(std::size_t index) const {
+  switch (index) {
+    case kRegPeriodPs: return period_;
+    case kRegCtrl:
+      return (running_ ? 1ULL : 0ULL) | (periodic_ ? 2ULL : 0ULL);
+    case kRegFireCount: return fire_count_;
+    default: throw std::out_of_range("timer register index");
+  }
+}
+
+void TimerPeripheral::write_reg(std::size_t index, std::uint64_t value) {
+  switch (index) {
+    case kRegPeriodPs:
+      period_ = value;
+      break;
+    case kRegCtrl:
+      if ((value & 1ULL) == 0) {
+        stop();
+      } else if (value & 2ULL) {
+        start_periodic(period_);
+      } else {
+        start_oneshot(period_);
+      }
+      break;
+    default:
+      throw std::out_of_range("timer register not writable");
+  }
+}
+
+std::vector<RegInfo> TimerPeripheral::registers() const {
+  return {{"PERIOD_PS", kRegPeriodPs},
+          {"CTRL", kRegCtrl},
+          {"FIRE_COUNT", kRegFireCount}};
+}
+
+std::vector<Signal*> TimerPeripheral::signals() { return {&expired_}; }
+
+// --------------------------------------------------------------- DmaEngine
+
+DmaEngine::DmaEngine(Kernel& kernel, Tracer& tracer, MemorySystem& memory,
+                     Interconnect* icn, InterruptController& irqc,
+                     std::size_t irq_line)
+    : Peripheral("dma"),
+      kernel_(kernel),
+      tracer_(tracer),
+      memory_(memory),
+      icn_(icn),
+      irqc_(irqc),
+      irq_line_(irq_line),
+      busy_signal_("dma.busy") {}
+
+void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
+                      std::function<void()> on_done) {
+  if (busy_) throw std::runtime_error("DMA engine is busy");
+  if (len == 0) throw std::invalid_argument("DMA length must be > 0");
+  busy_ = true;
+  src_ = src;
+  dst_ = dst;
+  len_ = len;
+  busy_signal_.raise();
+  tracer_.record(kernel_.now(), TraceKind::kDmaStart, CoreId{}, name(), src,
+                 len);
+
+  // Transfer time over the interconnect (DMA acts as an anonymous master).
+  TimePs finish = kernel_.now();
+  if (icn_ != nullptr) {
+    finish = icn_->reserve_transfer(CoreId{0}, CoreId{0}, len, kernel_.now())
+                 .second;
+  } else {
+    finish += nanoseconds(len);  // fallback: 1 byte/ns
+  }
+
+  kernel_.schedule_at(finish, [this, done = std::move(on_done)] {
+    std::vector<std::uint8_t> buf(len_);
+    memory_.read_block(CoreId{}, src_, buf);
+    memory_.write_block(CoreId{}, dst_, buf);
+    busy_ = false;
+    ++done_count_;
+    busy_signal_.lower();
+    tracer_.record(kernel_.now(), TraceKind::kDmaEnd, CoreId{}, name(), dst_,
+                   len_);
+    irqc_.raise(irq_line_);
+    if (done) done();
+  });
+}
+
+std::uint64_t DmaEngine::read_reg(std::size_t index) const {
+  switch (index) {
+    case kRegSrc: return src_;
+    case kRegDst: return dst_;
+    case kRegLen: return len_;
+    case kRegStatus: return busy_ ? 1 : 0;
+    case kRegDoneCount: return done_count_;
+    default: throw std::out_of_range("dma register index");
+  }
+}
+
+void DmaEngine::write_reg(std::size_t index, std::uint64_t value) {
+  switch (index) {
+    case kRegSrc: src_ = value; break;
+    case kRegDst: dst_ = value; break;
+    case kRegLen: len_ = value; break;
+    case kRegStatus:
+      if (value == 1) start(src_, dst_, len_);
+      break;
+    default:
+      throw std::out_of_range("dma register not writable");
+  }
+}
+
+std::vector<RegInfo> DmaEngine::registers() const {
+  return {{"SRC", kRegSrc},
+          {"DST", kRegDst},
+          {"LEN", kRegLen},
+          {"STATUS", kRegStatus},
+          {"DONE_COUNT", kRegDoneCount}};
+}
+
+std::vector<Signal*> DmaEngine::signals() { return {&busy_signal_}; }
+
+// ------------------------------------------------------------ HwSemaphores
+
+HwSemaphores::HwSemaphores(Kernel& kernel, Tracer& tracer, std::size_t cells)
+    : Peripheral("hwsem"), kernel_(kernel), tracer_(tracer) {
+  holders_.assign(cells, CoreId{});
+}
+
+bool HwSemaphores::try_acquire(std::size_t cell, CoreId by) {
+  auto& holder = holders_.at(cell);
+  if (holder.is_valid()) return false;
+  holder = by;
+  tracer_.record(kernel_.now(), TraceKind::kCustom, by, "hwsem.acquire",
+                 cell, 1);
+  return true;
+}
+
+void HwSemaphores::release(std::size_t cell, CoreId by) {
+  auto& holder = holders_.at(cell);
+  if (holder != by)
+    throw std::logic_error("semaphore released by a non-holder");
+  holder = CoreId{};
+  tracer_.record(kernel_.now(), TraceKind::kCustom, by, "hwsem.release",
+                 cell, 0);
+}
+
+bool HwSemaphores::held(std::size_t cell) const {
+  return holders_.at(cell).is_valid();
+}
+
+CoreId HwSemaphores::holder(std::size_t cell) const {
+  return holders_.at(cell);
+}
+
+std::uint64_t HwSemaphores::read_reg(std::size_t index) const {
+  const auto& h = holders_.at(index);
+  return h.is_valid() ? h.value() + 1ULL : 0ULL;
+}
+
+void HwSemaphores::write_reg(std::size_t index, std::uint64_t value) {
+  if (value == 0) holders_.at(index) = CoreId{};
+}
+
+std::vector<RegInfo> HwSemaphores::registers() const {
+  std::vector<RegInfo> out;
+  out.reserve(holders_.size());
+  for (std::size_t i = 0; i < holders_.size(); ++i)
+    out.push_back({strformat("SEM%zu", i), i});
+  return out;
+}
+
+}  // namespace rw::sim

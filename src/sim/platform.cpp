@@ -1,0 +1,72 @@
+#include "sim/platform.hpp"
+
+#include <stdexcept>
+
+#include "common/strings.hpp"
+
+namespace rw::sim {
+
+PlatformConfig PlatformConfig::homogeneous(std::size_t n, HertzT freq) {
+  PlatformConfig cfg;
+  cfg.cores.assign(n, CoreCfg{PeClass::kRisc, freq, 64 * 1024});
+  return cfg;
+}
+
+PlatformConfig PlatformConfig::heterogeneous(std::size_t riscs,
+                                             std::size_t dsps) {
+  PlatformConfig cfg;
+  for (std::size_t i = 0; i < riscs; ++i)
+    cfg.cores.push_back(CoreCfg{PeClass::kRisc, mhz(400), 64 * 1024});
+  for (std::size_t i = 0; i < dsps; ++i)
+    cfg.cores.push_back(CoreCfg{PeClass::kDsp, mhz(300), 128 * 1024});
+  return cfg;
+}
+
+Platform::Platform(PlatformConfig cfg)
+    : cfg_(std::move(cfg)), memory_(kernel_, tracer_) {
+  if (cfg_.cores.empty())
+    throw std::invalid_argument("platform needs at least one core");
+
+  tracer_.set_enabled(cfg_.trace_enabled);
+
+  for (std::size_t i = 0; i < cfg_.cores.size(); ++i) {
+    const auto& cc = cfg_.cores[i];
+    const CoreId id{static_cast<std::uint32_t>(i)};
+    cores_.push_back(
+        std::make_unique<Core>(kernel_, tracer_, id, cc.cls, cc.frequency));
+    if (cc.scratchpad_bytes > 0) {
+      if (cc.scratchpad_bytes > kScratchpadStride)
+        throw std::invalid_argument("scratchpad exceeds memory-map stride");
+      memory_.add_region(strformat("spm%zu", i), scratchpad_base(id),
+                         cc.scratchpad_bytes, cfg_.scratchpad_latency, id);
+    }
+  }
+
+  if (cfg_.shared_mem_bytes > 0) {
+    memory_.add_region("shared", kSharedBase, cfg_.shared_mem_bytes,
+                       cfg_.shared_mem_latency);
+  }
+  memory_.set_enforce_locality(cfg_.enforce_locality);
+
+  switch (cfg_.interconnect) {
+    case PlatformConfig::Icn::kSharedBus:
+      icn_ = std::make_unique<SharedBus>(kernel_, cfg_.bus);
+      break;
+    case PlatformConfig::Icn::kMesh:
+      icn_ = std::make_unique<MeshNoc>(kernel_, cfg_.mesh);
+      break;
+  }
+
+  irqc_ = std::make_unique<InterruptController>(kernel_, tracer_);
+  timer_ = std::make_unique<TimerPeripheral>(kernel_, tracer_, *irqc_,
+                                             kIrqTimer);
+  dma_ = std::make_unique<DmaEngine>(kernel_, tracer_, memory_, icn_.get(),
+                                     *irqc_, kIrqDma);
+  hwsem_ = std::make_unique<HwSemaphores>(kernel_, tracer_);
+}
+
+std::vector<Peripheral*> Platform::peripherals() {
+  return {irqc_.get(), timer_.get(), dma_.get(), hwsem_.get()};
+}
+
+}  // namespace rw::sim

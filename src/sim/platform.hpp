@@ -1,0 +1,106 @@
+// Virtual platform assembly.
+//
+// A Platform is the "functionally accurate simulator of a SoC" of Sec. VII:
+// cores, memory map, interconnect and the shared peripherals, all on one
+// deterministic event kernel. Construction is configuration-driven so the
+// benches can sweep core counts, interconnect types and frequencies.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/core.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/kernel.hpp"
+#include "sim/memory.hpp"
+#include "sim/peripherals.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::sim {
+
+struct PlatformConfig {
+  struct CoreCfg {
+    PeClass cls = PeClass::kRisc;
+    HertzT frequency = mhz(400);
+    std::uint64_t scratchpad_bytes = 64 * 1024;
+  };
+
+  std::vector<CoreCfg> cores;
+
+  std::uint64_t shared_mem_bytes = 1 << 20;
+  Cycles shared_mem_latency = 12;  // cycles per access (uncontended)
+  Cycles scratchpad_latency = 1;
+
+  enum class Icn { kSharedBus, kMesh } interconnect = Icn::kSharedBus;
+  SharedBus::Config bus;
+  MeshNoc::Config mesh;
+
+  bool enforce_locality = false;
+  bool trace_enabled = false;
+
+  /// Homogeneous platform: `n` identical RISC cores (Sec. II's preferred
+  /// architecture).
+  static PlatformConfig homogeneous(std::size_t n, HertzT freq = mhz(400));
+
+  /// Heterogeneous example platform: RISC control cores + DSPs (the
+  /// "wireless multimedia terminal" shape MAPS targets, Sec. IV).
+  static PlatformConfig heterogeneous(std::size_t riscs, std::size_t dsps);
+};
+
+/// Fixed memory-map constants.
+inline constexpr Addr kScratchpadBase = 0x1000'0000;
+inline constexpr Addr kScratchpadStride = 0x0010'0000;
+inline constexpr Addr kSharedBase = 0x8000'0000;
+
+/// IRQ line assignments.
+inline constexpr std::size_t kIrqTimer = 0;
+inline constexpr std::size_t kIrqDma = 1;
+inline constexpr std::size_t kIrqSoftBase = 8;  // first software IRQ line
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig cfg);
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+  [[nodiscard]] MemorySystem& memory() { return memory_; }
+  [[nodiscard]] Interconnect& interconnect() { return *icn_; }
+  [[nodiscard]] InterruptController& irqc() { return *irqc_; }
+  [[nodiscard]] TimerPeripheral& timer() { return *timer_; }
+  [[nodiscard]] DmaEngine& dma() { return *dma_; }
+  [[nodiscard]] HwSemaphores& hwsem() { return *hwsem_; }
+
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  [[nodiscard]] Core& core(CoreId id) { return *cores_.at(id.index()); }
+  [[nodiscard]] Core& core(std::size_t i) { return *cores_.at(i); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Core>>& cores() const {
+    return cores_;
+  }
+
+  /// Memory-map lookups.
+  [[nodiscard]] Addr scratchpad_base(CoreId id) const {
+    return kScratchpadBase + id.value() * kScratchpadStride;
+  }
+  [[nodiscard]] Addr shared_base() const { return kSharedBase; }
+
+  /// All peripherals, for the debugger's register view.
+  [[nodiscard]] std::vector<Peripheral*> peripherals();
+
+  [[nodiscard]] const PlatformConfig& config() const { return cfg_; }
+
+ private:
+  PlatformConfig cfg_;
+  Kernel kernel_;
+  Tracer tracer_;
+  MemorySystem memory_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unique_ptr<Interconnect> icn_;
+  std::unique_ptr<InterruptController> irqc_;
+  std::unique_ptr<TimerPeripheral> timer_;
+  std::unique_ptr<DmaEngine> dma_;
+  std::unique_ptr<HwSemaphores> hwsem_;
+};
+
+}  // namespace rw::sim

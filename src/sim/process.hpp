@@ -1,0 +1,132 @@
+// Coroutine-based simulation processes.
+//
+// Software running on the virtual platform (CIC tasks, dataflow actors,
+// debug victims) is written as ordinary C++20 coroutines that co_await
+// simulated time and communication. This gives application code the
+// sequential, run-to-completion shape Sec. II argues for while the kernel
+// interleaves processes deterministically.
+//
+// Ownership: a Process created by calling a coroutine function must be
+// handed to spawn(), which transfers the frame to the Kernel. The kernel
+// destroys every adopted frame at teardown, so processes may be abandoned
+// mid-execution (e.g. when a bench stops the simulation early).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace rw::sim {
+
+class Process {
+ public:
+  struct promise_type {
+    Kernel* kernel = nullptr;
+    bool finished = false;
+
+    Process get_return_object() {
+      return Process{Handle::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept {
+      finished = true;
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() {
+      // A throwing process is a broken model, not a recoverable condition:
+      // surface it immediately instead of deadlocking its communication
+      // partners.
+      std::rethrow_exception(std::current_exception());
+    }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process(Process&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  Process& operator=(Process&&) = delete;
+
+  ~Process() {
+    // Only reached if the Process was never spawned.
+    if (handle_) handle_.destroy();
+  }
+
+  /// Used by spawn(); releases frame ownership to the caller.
+  Handle release() { return std::exchange(handle_, nullptr); }
+
+ private:
+  explicit Process(Handle h) : handle_(h) {}
+  Handle handle_ = nullptr;
+};
+
+/// Start a process: the kernel adopts the frame and resumes it at the
+/// current simulation time (priority 0).
+inline void spawn(Kernel& kernel, Process p) {
+  auto h = p.release();
+  h.promise().kernel = &kernel;
+  kernel.adopt(h);
+  kernel.schedule_at(kernel.now(), [h] {
+    if (!h.done()) h.resume();
+  });
+}
+
+/// co_await delay(kernel, d): suspend for d picoseconds of simulated time.
+struct DelayAwaitable {
+  Kernel& kernel;
+  DurationPs duration;
+  int priority = 0;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    kernel.schedule_in(duration, [h] { h.resume(); }, priority);
+  }
+  void await_resume() const noexcept {}
+};
+
+inline DelayAwaitable delay(Kernel& kernel, DurationPs d, int priority = 0) {
+  return DelayAwaitable{kernel, d, priority};
+}
+
+/// Broadcast condition: all current waiters are resumed when fire() runs.
+/// Later waiters wait for the next fire. Resumption happens as kernel
+/// events at the fire time, preserving deterministic ordering.
+class Trigger {
+ public:
+  explicit Trigger(Kernel& kernel) : kernel_(kernel) {}
+
+  struct Awaitable {
+    Trigger& trigger;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      trigger.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Awaitable wait() { return Awaitable{*this}; }
+
+  /// Wake all present waiters at the current time.
+  void fire() {
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken) {
+      kernel_.schedule_at(kernel_.now(), [h] {
+        if (!h.done()) h.resume();
+      });
+    }
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Kernel& kernel_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace rw::sim

@@ -1,0 +1,56 @@
+// Named boolean signals with observers.
+//
+// Sec. VII: "A watchpoint can be set on a signal, such as the interrupt
+// line of a peripheral." Signals are the debugger-visible wires of the
+// platform: interrupt lines, DMA-busy, timer-expired. Observers fire
+// synchronously on every level change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rw::sim {
+
+class Signal {
+ public:
+  explicit Signal(std::string name, bool level = false)
+      : name_(std::move(name)), level_(level) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool level() const { return level_; }
+  [[nodiscard]] std::uint64_t toggle_count() const { return toggles_; }
+
+  using Observer = std::function<void(const Signal&, bool old_level)>;
+  void add_observer(Observer fn) { observers_.push_back(std::move(fn)); }
+  void clear_observers() { observers_.clear(); }
+
+  /// Drive the signal; observers run only on actual level changes.
+  void set(bool level) {
+    if (level == level_) return;
+    const bool old = level_;
+    level_ = level;
+    ++toggles_;
+    for (auto& o : observers_)
+      if (o) o(*this, old);
+  }
+
+  void raise() { set(true); }
+  void lower() { set(false); }
+
+  /// Pulse: raise then immediately lower (both edges observable).
+  void pulse() {
+    set(true);
+    set(false);
+  }
+
+ private:
+  std::string name_;
+  bool level_;
+  std::uint64_t toggles_ = 0;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace rw::sim

@@ -1,0 +1,39 @@
+#include "sim/trace.hpp"
+
+#include "common/strings.hpp"
+
+namespace rw::sim {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kTaskStart: return "task_start";
+    case TraceKind::kTaskEnd: return "task_end";
+    case TraceKind::kComputeStart: return "compute_start";
+    case TraceKind::kComputeEnd: return "compute_end";
+    case TraceKind::kMsgSend: return "msg_send";
+    case TraceKind::kMsgRecv: return "msg_recv";
+    case TraceKind::kMemRead: return "mem_read";
+    case TraceKind::kMemWrite: return "mem_write";
+    case TraceKind::kIrqRaise: return "irq_raise";
+    case TraceKind::kIrqAck: return "irq_ack";
+    case TraceKind::kDmaStart: return "dma_start";
+    case TraceKind::kDmaEnd: return "dma_end";
+    case TraceKind::kFreqChange: return "freq_change";
+    case TraceKind::kSchedDispatch: return "sched_dispatch";
+    case TraceKind::kSchedPreempt: return "sched_preempt";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::string core_str =
+      core.is_valid() ? strformat("core%u", core.value()) : "-";
+  return strformat("[%12llu ps] %-14s %-6s %-20s a=%llu b=%llu",
+                   static_cast<unsigned long long>(time),
+                   trace_kind_name(kind), core_str.c_str(), label.c_str(),
+                   static_cast<unsigned long long>(a),
+                   static_cast<unsigned long long>(b));
+}
+
+}  // namespace rw::sim

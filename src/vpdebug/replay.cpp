@@ -1,0 +1,41 @@
+#include "vpdebug/replay.hpp"
+
+namespace rw::vpdebug {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fold_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+ExecutionRecorder::ExecutionRecorder(sim::Platform& platform) {
+  platform.tracer().add_listener(
+      [this](const sim::TraceEvent& ev) { fold(ev); });
+}
+
+void ExecutionRecorder::fold(const sim::TraceEvent& ev) {
+  ++count_;
+  hash_ = fold_u64(hash_, ev.time);
+  hash_ = fold_u64(hash_, static_cast<std::uint64_t>(ev.kind));
+  hash_ = fold_u64(hash_, ev.core.is_valid() ? ev.core.value() : ~0ULL);
+  hash_ = fold_str(hash_, ev.label);
+  hash_ = fold_u64(hash_, ev.a);
+  hash_ = fold_u64(hash_, ev.b);
+}
+
+}  // namespace rw::vpdebug

@@ -1,0 +1,60 @@
+// Deterministic record/replay.
+//
+// Sec. VII phase 2 of the structured debugging process is "reproducing the
+// defect". On a virtual platform a run is a pure function of its
+// configuration and seeds, so reproduction is exact. The recorder folds
+// the full trace-event stream into a fingerprint; two runs replay
+// identically iff their fingerprints match — which is how the tests and
+// experiment E9 *prove* determinism instead of asserting it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/platform.hpp"
+
+namespace rw::vpdebug {
+
+/// FNV-1a-folded digest of every trace event (time, kind, core, label,
+/// payloads) plus the event count.
+class ExecutionRecorder {
+ public:
+  explicit ExecutionRecorder(sim::Platform& platform);
+
+  [[nodiscard]] std::uint64_t fingerprint() const { return hash_; }
+  [[nodiscard]] std::uint64_t events() const { return count_; }
+
+ private:
+  void fold(const sim::TraceEvent& ev);
+  std::uint64_t hash_ = 1469598103934665603ULL;
+  std::uint64_t count_ = 0;
+};
+
+/// Convenience: run `scenario` twice on freshly-built platforms and
+/// report whether the fingerprints match.
+struct ReplayCheck {
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  [[nodiscard]] bool deterministic() const { return first == second; }
+};
+
+template <typename Scenario>
+ReplayCheck check_replay(const sim::PlatformConfig& cfg,
+                         Scenario&& scenario) {
+  ReplayCheck out;
+  {
+    sim::Platform p(cfg);
+    ExecutionRecorder rec(p);
+    scenario(p);
+    out.first = rec.fingerprint();
+  }
+  {
+    sim::Platform p(cfg);
+    ExecutionRecorder rec(p);
+    scenario(p);
+    out.second = rec.fingerprint();
+  }
+  return out;
+}
+
+}  // namespace rw::vpdebug

@@ -1,0 +1,198 @@
+#include "vpdebug/script.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+#include "vpdebug/tracexport.hpp"
+
+namespace rw::vpdebug {
+namespace {
+
+bool parse_addr(const std::string& s, sim::Addr& out) {
+  if (starts_with(s, "0x") || starts_with(s, "0X")) {
+    char* end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return end == s.c_str() + s.size();
+  }
+  std::uint64_t v = 0;
+  if (!parse_u64(s, v)) return false;
+  out = v;
+  return true;
+}
+
+std::string rest_of(const std::vector<std::string>& words,
+                    std::size_t from) {
+  std::vector<std::string> tail(words.begin() +
+                                    static_cast<std::ptrdiff_t>(from),
+                                words.end());
+  return join(tail, " ");
+}
+
+}  // namespace
+
+void ScriptEngine::note_stop(const StopInfo& stop) {
+  emit(strformat("[stopped: %s at %s] %s", stop_kind_name(stop.kind),
+                 format_time(stop.time).c_str(), stop.detail.c_str()));
+  if (stop.kind == StopKind::kAssertion) ++assertion_failures_;
+}
+
+Status ScriptEngine::execute_line(const std::string& raw) {
+  const auto line = std::string(trim(raw));
+  if (line.empty() || line[0] == '#') return Status::ok_status();
+  const auto words = split_ws(line);
+  const std::string& cmd = words[0];
+
+  auto need = [&](std::size_t n) -> Status {
+    if (words.size() < n + 1)
+      return make_error("'" + cmd + "' needs " + std::to_string(n) +
+                        " argument(s)");
+    return Status::ok_status();
+  };
+
+  if (cmd == "echo") {
+    emit(rest_of(words, 1));
+    return Status::ok_status();
+  }
+  if (cmd == "break-task") {
+    if (auto s = need(1); !s.ok()) return s;
+    dbg_.break_on_task(words[1]);
+    emit("breakpoint on task '" + words[1] + "'");
+    return Status::ok_status();
+  }
+  if (cmd == "watch-mem") {
+    if (auto s = need(2); !s.ok()) return s;
+    sim::Addr addr = 0;
+    std::uint64_t len = 0;
+    if (!parse_addr(words[1], addr) || !parse_u64(words[2], len))
+      return make_error("watch-mem: bad address/length");
+    const std::string mode = words.size() > 3 ? words[3] : "w";
+    dbg_.watch_memory(addr, len, mode.find('w') != std::string::npos,
+                      mode.find('r') != std::string::npos);
+    emit(strformat("watchpoint at 0x%llx (%s)",
+                   static_cast<unsigned long long>(addr), mode.c_str()));
+    return Status::ok_status();
+  }
+  if (cmd == "watch-sig") {
+    if (auto s = need(1); !s.ok()) return s;
+    dbg_.watch_signal(words[1]);
+    emit("watchpoint on signal '" + words[1] + "'");
+    return Status::ok_status();
+  }
+  if (cmd == "assert-mem-le") {
+    if (auto s = need(2); !s.ok()) return s;
+    sim::Addr addr = 0;
+    std::uint64_t limit = 0;
+    if (!parse_addr(words[1], addr) || !parse_u64(words[2], limit))
+      return make_error("assert-mem-le: bad address/limit");
+    const std::string desc = words.size() > 3
+                                 ? rest_of(words, 3)
+                                 : strformat("mem[0x%llx] <= %llu",
+                                             static_cast<unsigned long long>(
+                                                 addr),
+                                             static_cast<unsigned long long>(
+                                                 limit));
+    dbg_.add_assertion(desc, [this, addr, limit] {
+      return dbg_.read_mem_u64(addr) <= limit;
+    });
+    emit("assertion armed: " + desc);
+    return Status::ok_status();
+  }
+  if (cmd == "assert-sem-free") {
+    if (auto s = need(1); !s.ok()) return s;
+    std::uint64_t cell = 0;
+    if (!parse_u64(words[1], cell))
+      return make_error("assert-sem-free: bad cell");
+    dbg_.add_assertion(
+        "hwsem " + words[1] + " free",
+        [this, cell] { return !dbg_.platform().hwsem().held(cell); });
+    emit("assertion armed: hwsem " + words[1] + " free");
+    return Status::ok_status();
+  }
+  if (cmd == "run") {
+    note_stop(dbg_.resume());
+    return Status::ok_status();
+  }
+  if (cmd == "run-until") {
+    if (auto s = need(1); !s.ok()) return s;
+    std::uint64_t t = 0;
+    if (!parse_u64(words[1], t)) return make_error("run-until: bad time");
+    note_stop(dbg_.run_until(t));
+    return Status::ok_status();
+  }
+  if (cmd == "step") {
+    note_stop(dbg_.step_event());
+    return Status::ok_status();
+  }
+  if (cmd == "snapshot") {
+    out_ += dbg_.snapshot();
+    return Status::ok_status();
+  }
+  if (cmd == "print-mem") {
+    if (auto s = need(1); !s.ok()) return s;
+    sim::Addr addr = 0;
+    if (!parse_addr(words[1], addr)) return make_error("print-mem: bad addr");
+    emit(strformat("mem[0x%llx] = %llu",
+                   static_cast<unsigned long long>(addr),
+                   static_cast<unsigned long long>(dbg_.read_mem_u64(addr))));
+    return Status::ok_status();
+  }
+  if (cmd == "print-reg") {
+    if (auto s = need(2); !s.ok()) return s;
+    std::uint64_t core = 0, reg = 0;
+    if (!parse_u64(words[1], core) || !parse_u64(words[2], reg))
+      return make_error("print-reg: bad core/reg");
+    emit(strformat("core%llu.r%llu = %llu",
+                   static_cast<unsigned long long>(core),
+                   static_cast<unsigned long long>(reg),
+                   static_cast<unsigned long long>(
+                       dbg_.core_register(core, reg))));
+    return Status::ok_status();
+  }
+  if (cmd == "print-periph") {
+    if (auto s = need(2); !s.ok()) return s;
+    std::uint64_t reg = 0;
+    if (!parse_u64(words[2], reg)) return make_error("print-periph: bad reg");
+    emit(strformat("%s[%llu] = %llu", words[1].c_str(),
+                   static_cast<unsigned long long>(reg),
+                   static_cast<unsigned long long>(
+                       dbg_.peripheral_register(words[1], reg))));
+    return Status::ok_status();
+  }
+  if (cmd == "gantt") {
+    // gantt [<width>] — ASCII timeline of the trace so far.
+    std::uint64_t width = 64;
+    if (words.size() > 1 && !parse_u64(words[1], width))
+      return make_error("gantt: bad width");
+    auto& p = dbg_.platform();
+    out_ += render_gantt(p.tracer().events(), p.core_count(), 0,
+                         std::max<TimePs>(p.kernel().now(), 1),
+                         static_cast<std::size_t>(width));
+    return Status::ok_status();
+  }
+  if (cmd == "history") {
+    // history <core> — executed compute blocks on a core.
+    if (auto s = need(1); !s.ok()) return s;
+    std::uint64_t core = 0;
+    if (!parse_u64(words[1], core)) return make_error("history: bad core");
+    const auto blocks = function_history(
+        dbg_.platform().tracer().events(),
+        sim::CoreId{static_cast<std::uint32_t>(core)});
+    emit(strformat("core%llu executed %zu blocks:",
+                   static_cast<unsigned long long>(core), blocks.size()));
+    for (const auto& b : blocks)
+      emit(strformat("  %-20s %s .. %s", b.label.c_str(),
+                     format_time(b.start).c_str(),
+                     format_time(b.end).c_str()));
+    return Status::ok_status();
+  }
+  return make_error("unknown command '" + cmd + "'");
+}
+
+Status ScriptEngine::execute_script(const std::string& script) {
+  for (const auto& line : split(script, '\n')) {
+    if (auto s = execute_line(line); !s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace rw::vpdebug

@@ -1,0 +1,65 @@
+// Scriptable debug framework (Sec. VII).
+//
+// "CoWare Virtual Platforms provide a scriptable debug framework. Using a
+// TCL based scripting language, the control and inspection of hardware
+// and software can be automated. This scripting capability allows
+// implementing system level software assertions, without changing the
+// software code."
+//
+// A small TCL-flavoured command language driving the Debugger:
+//
+//   break-task fir               # breakpoint on a task label
+//   watch-mem 0x80000000 8 w     # memory watchpoint (w, r or rw)
+//   watch-sig irq0               # signal watchpoint
+//   assert-mem-le 0x80000000 100 counter stays small
+//   assert-sem-free 3            # hw semaphore 3 never held
+//   run                          # resume until a stop condition
+//   run-until 2000000            # run to absolute time (ps)
+//   step                         # single kernel event
+//   snapshot                     # consistent whole-system dump
+//   print-mem 0x80000000
+//   print-reg 0 1                # core 0, register r1
+//   print-periph timer 2
+//   echo text...
+//
+// Commands execute against the live platform; all output lands in the
+// transcript. Unknown commands are errors (scripts are checked, not
+// silently skipped).
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "vpdebug/debugger.hpp"
+
+namespace rw::vpdebug {
+
+class ScriptEngine {
+ public:
+  explicit ScriptEngine(Debugger& dbg) : dbg_(dbg) {}
+
+  /// Execute one command line; output is appended to the transcript.
+  Status execute_line(const std::string& line);
+
+  /// Execute a whole script (newline-separated; '#' comments allowed).
+  /// Stops at the first failing command.
+  Status execute_script(const std::string& script);
+
+  [[nodiscard]] const std::string& transcript() const { return out_; }
+  void clear_transcript() { out_.clear(); }
+
+  /// Number of assertion stops observed while running under the script.
+  [[nodiscard]] std::uint64_t assertion_failures() const {
+    return assertion_failures_;
+  }
+
+ private:
+  void emit(const std::string& line) { out_ += line + "\n"; }
+  void note_stop(const StopInfo& stop);
+
+  Debugger& dbg_;
+  std::string out_;
+  std::uint64_t assertion_failures_ = 0;
+};
+
+}  // namespace rw::vpdebug

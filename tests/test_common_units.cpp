@@ -1,0 +1,64 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rw {
+namespace {
+
+TEST(Units, CyclesToPsExactAtRoundFrequencies) {
+  // 1 GHz -> 1000 ps per cycle.
+  EXPECT_EQ(cycles_to_ps(1, ghz(1)), 1000u);
+  EXPECT_EQ(cycles_to_ps(1000, ghz(1)), 1'000'000u);
+  // 500 MHz -> 2000 ps per cycle.
+  EXPECT_EQ(cycles_to_ps(3, mhz(500)), 6000u);
+}
+
+TEST(Units, CyclesToPsRoundsUp) {
+  // 3 Hz: period is 333333333333.33 ps; 1 cycle must round up.
+  EXPECT_EQ(cycles_to_ps(1, 3), 333'333'333'334u);
+  // and 3 cycles are exactly one second.
+  EXPECT_EQ(cycles_to_ps(3, 3), kPsPerSecond);
+}
+
+TEST(Units, CyclesToPsZeroFrequencyIsZero) {
+  EXPECT_EQ(cycles_to_ps(100, 0), 0u);
+}
+
+TEST(Units, PsToCyclesInverse) {
+  const HertzT f = mhz(400);
+  for (Cycles c : {1ULL, 7ULL, 1000ULL, 123456ULL}) {
+    const DurationPs d = cycles_to_ps(c, f);
+    EXPECT_GE(ps_to_cycles(d, f), c);  // round-up then floor >= original
+    EXPECT_LE(ps_to_cycles(d, f), c + 1);
+  }
+}
+
+TEST(Units, HigherFrequencyIsFaster) {
+  EXPECT_LT(cycles_to_ps(1000, ghz(2)), cycles_to_ps(1000, ghz(1)));
+  EXPECT_LT(cycles_to_ps(1000, ghz(1)), cycles_to_ps(1000, mhz(100)));
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(500), "500ps");
+  EXPECT_EQ(format_time(1'500), "1.500ns");
+  EXPECT_EQ(format_time(2'000'000), "2.000us");
+  EXPECT_EQ(format_time(3'500'000'000ULL), "3.500ms");
+  EXPECT_EQ(format_time(kPsPerSecond), "1.000s");
+}
+
+TEST(Units, FormatHz) {
+  EXPECT_EQ(format_hz(mhz(400)), "400MHz");
+  EXPECT_EQ(format_hz(ghz(1)), "1GHz");
+  EXPECT_EQ(format_hz(999), "999Hz");
+}
+
+TEST(Units, HelperScales) {
+  EXPECT_EQ(milliseconds(1), 1'000'000'000ULL);
+  EXPECT_EQ(microseconds(1), 1'000'000ULL);
+  EXPECT_EQ(nanoseconds(1), 1'000ULL);
+  EXPECT_EQ(mhz(1), 1'000'000ULL);
+  EXPECT_EQ(ghz(1), 1'000'000'000ULL);
+}
+
+}  // namespace
+}  // namespace rw

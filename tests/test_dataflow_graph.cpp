@@ -1,0 +1,156 @@
+#include "dataflow/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rw::dataflow {
+namespace {
+
+TEST(Graph, BuildsChain) {
+  Graph g;
+  const auto a = g.add_actor("src", 100);
+  const auto b = g.add_actor("f", 200);
+  const auto c = g.add_actor("snk", 50);
+  g.connect(a, b, 1, 1);
+  g.connect(b, c, 1, 1);
+  EXPECT_EQ(g.actors().size(), 3u);
+  EXPECT_EQ(g.edges().size(), 2u);
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.in_edges(b).size(), 1u);
+  EXPECT_EQ(g.out_edges(b).size(), 1u);
+  EXPECT_TRUE(g.in_edges(a).empty());
+  EXPECT_TRUE(g.out_edges(c).empty());
+}
+
+TEST(Graph, RepetitionVectorUniformRates) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.connect(a, b, 1, 1);
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{1, 1}));
+}
+
+TEST(Graph, RepetitionVectorMultiRate) {
+  // a -(2:3)-> b: q_a * 2 = q_b * 3 -> q = (3, 2).
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.connect(a, b, 2, 3);
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{3, 2}));
+}
+
+TEST(Graph, RepetitionVectorDownUpSampleChain) {
+  // src -(1:4)-> dec -(1:1)-> interp -(3:1)-> snk
+  Graph g;
+  const auto s = g.add_actor("src", 1);
+  const auto d = g.add_actor("dec", 1);
+  const auto i = g.add_actor("int", 1);
+  const auto k = g.add_actor("snk", 1);
+  g.connect(s, d, 1, 4);
+  g.connect(d, i, 1, 1);
+  g.connect(i, k, 3, 1);
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{4, 1, 1, 3}));
+}
+
+TEST(Graph, InconsistentGraphRejected) {
+  // Triangle with incompatible rates has no repetition vector.
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  const auto c = g.add_actor("c", 1);
+  g.connect(a, b, 1, 1);
+  g.connect(b, c, 1, 1);
+  g.connect(a, c, 2, 1);  // forces q_c = 2 q_a but chain gives q_c = q_a
+  const auto rv = g.repetition_vector();
+  EXPECT_FALSE(rv.ok());
+}
+
+TEST(Graph, CsdfPhases) {
+  Graph g;
+  // 2-phase actor consuming (1,2) and producing (2,1).
+  const auto a = g.add_actor("src", 1);
+  const auto b = g.add_actor("csdf", std::vector<Cycles>{10, 20});
+  const auto c = g.add_actor("snk", 1);
+  g.connect(a, b, std::vector<std::uint32_t>{3},
+            std::vector<std::uint32_t>{1, 2});
+  g.connect(b, c, std::vector<std::uint32_t>{2, 1},
+            std::vector<std::uint32_t>{3});
+  ASSERT_TRUE(g.validate().ok());
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  // Per CSDF cycle: b consumes 3, produces 3; rates balance 1:1:1 cycles.
+  EXPECT_EQ(rv.value().cycles, (std::vector<std::uint64_t>{1, 1, 1}));
+  // b has two phases -> 2 firings per iteration.
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{1, 2, 1}));
+}
+
+TEST(Graph, ValidateCatchesRateArityMismatch) {
+  Graph g;
+  const auto a = g.add_actor("a", std::vector<Cycles>{1, 2});  // 2 phases
+  const auto b = g.add_actor("b", 1);
+  g.connect(a, b, std::vector<std::uint32_t>{1},  // should be 2 entries
+            std::vector<std::uint32_t>{1});
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, ValidateCatchesZeroRates) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.connect(a, b, 0, 1);
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, ValidateCatchesEmptyPhases) {
+  Graph g;
+  g.add_actor("a", std::vector<Cycles>{});
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, DisconnectedComponentsEachNormalized) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  const auto c = g.add_actor("c", 1);
+  const auto d = g.add_actor("d", 1);
+  g.connect(a, b, 1, 2);
+  g.connect(c, d, 1, 1);
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{2, 1, 1, 1}));
+}
+
+TEST(Graph, WcetHelpers) {
+  Actor a;
+  a.phase_wcet = {10, 30, 20};
+  EXPECT_EQ(a.phases(), 3u);
+  EXPECT_EQ(a.wcet_sum(), 60u);
+  EXPECT_EQ(a.max_wcet(), 30u);
+}
+
+TEST(Graph, EdgeAutoNaming) {
+  Graph g;
+  const auto a = g.add_actor("alpha", 1);
+  const auto b = g.add_actor("beta", 1);
+  const auto e = g.connect(a, b, 1, 1);
+  EXPECT_EQ(g.edge(e).name, "alpha->beta");
+}
+
+TEST(Graph, CyclicGraphWithInitialTokensConsistent) {
+  Graph g;
+  const auto a = g.add_actor("a", 1);
+  const auto b = g.add_actor("b", 1);
+  g.connect(a, b, 1, 1);
+  g.connect(b, a, 1, 1, /*initial_tokens=*/1);
+  const auto rv = g.repetition_vector();
+  ASSERT_TRUE(rv.ok());
+  EXPECT_EQ(rv.value().firings, (std::vector<std::uint64_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace rw::dataflow

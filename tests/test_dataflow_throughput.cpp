@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/throughput.hpp"
+
+namespace rw::dataflow {
+namespace {
+
+Graph chain(Cycles a, Cycles b, Cycles c, std::size_t cores) {
+  Graph g;
+  const auto s = g.add_actor("src", 100, 0);
+  const auto f1 = g.add_actor("f1", a, cores > 1 ? 1 : 0);
+  const auto f2 = g.add_actor("f2", b, cores > 2 ? 2 : 0);
+  const auto f3 = g.add_actor("f3", c, cores > 3 ? 3 : 0);
+  const auto k = g.add_actor("snk", 100, 0);
+  g.connect(s, f1, 1, 1);
+  g.connect(f1, f2, 1, 1);
+  g.connect(f2, f3, 1, 1);
+  g.connect(f3, k, 1, 1);
+  return g;
+}
+
+ExecConfig cfg_cores(std::size_t n) {
+  ExecConfig cfg;
+  cfg.frequency = mhz(400);
+  cfg.num_cores = n;
+  return cfg;
+}
+
+TEST(Throughput, BottleneckActorSetsThePeriod) {
+  // Dedicated cores: the period is the slowest actor's execution time.
+  const auto g = chain(8'000, 40'000, 12'000, 4);
+  const auto rep = analyze_throughput(g, cfg_cores(4));
+  // 40k cycles at 400 MHz = 100 us.
+  EXPECT_NEAR(static_cast<double>(rep.min_period), 100e6, 2e6);
+  EXPECT_EQ(rep.bottleneck_actor, "f2");
+  EXPECT_GT(rep.bottleneck_core_load, 0.9);
+}
+
+TEST(Throughput, SharedCoreSumsLoads) {
+  // All actors on one core: period >= sum of all WCETs.
+  const auto g = chain(8'000, 10'000, 12'000, 1);
+  const auto rep = analyze_throughput(g, cfg_cores(1));
+  // 100+8k+10k+12k+100 = 30200 cycles = 75.5 us.
+  EXPECT_GE(rep.min_period, static_cast<DurationPs>(75e6));
+  EXPECT_LT(rep.min_period, static_cast<DurationPs>(85e6));
+}
+
+TEST(Throughput, MoreCoresNeverSlower) {
+  const auto g1 = chain(10'000, 10'000, 10'000, 1);
+  const auto g4 = chain(10'000, 10'000, 10'000, 4);
+  const auto r1 = analyze_throughput(g1, cfg_cores(1));
+  const auto r4 = analyze_throughput(g4, cfg_cores(4));
+  EXPECT_LE(r4.min_period, r1.min_period);
+  EXPECT_GT(r4.max_iterations_per_sec, r1.max_iterations_per_sec);
+}
+
+TEST(Throughput, MinPeriodAgreesWithScheduleFeasibility) {
+  const auto g = chain(8'000, 25'000, 12'000, 4);
+  auto cfg = cfg_cores(4);
+  const DurationPs p = min_sustainable_period(g, cfg);
+  ASSERT_GT(p, 0u);
+  cfg.source_period = p;
+  EXPECT_TRUE(compute_static_schedule(g, cfg).ok());
+  cfg.source_period = p - std::max<DurationPs>(p / 100, 1);
+  EXPECT_FALSE(compute_static_schedule(g, cfg).ok());
+}
+
+TEST(Throughput, HigherFrequencyRaisesThroughput) {
+  const auto g = chain(10'000, 20'000, 10'000, 4);
+  auto slow = cfg_cores(4);
+  slow.frequency = mhz(200);
+  auto fast = cfg_cores(4);
+  fast.frequency = mhz(800);
+  const auto rs = analyze_throughput(g, slow);
+  const auto rf = analyze_throughput(g, fast);
+  EXPECT_NEAR(rf.max_iterations_per_sec / rs.max_iterations_per_sec, 4.0,
+              0.2);
+}
+
+}  // namespace
+}  // namespace rw::dataflow

@@ -1,0 +1,118 @@
+// Deadlock detection across both layers: design-time on dataflow graphs
+// and run-time diagnosis in the CIC translator's simulated execution
+// (Sec. VII: "System deadlocks, race conditions and starvation...").
+#include <gtest/gtest.h>
+
+#include "cic/archfile.hpp"
+#include "cic/translator.hpp"
+#include "dataflow/deadlock.hpp"
+
+namespace rw {
+namespace {
+
+// --------------------------------------------------------- dataflow layer
+
+TEST(DataflowDeadlock, AcyclicGraphNeverDeadlocks) {
+  dataflow::Graph g;
+  const auto a = g.add_actor("a", 10);
+  const auto b = g.add_actor("b", 10);
+  g.connect(a, b, 2, 3);
+  const auto rep = dataflow::detect_deadlock(g);
+  EXPECT_FALSE(rep.deadlocked);
+  EXPECT_NE(rep.to_string().find("no deadlock"), std::string::npos);
+}
+
+TEST(DataflowDeadlock, CycleWithEnoughTokensIsLive) {
+  dataflow::Graph g;
+  const auto a = g.add_actor("a", 10);
+  const auto b = g.add_actor("b", 10);
+  g.connect(a, b, 1, 1);
+  g.connect(b, a, 1, 1, /*initial_tokens=*/1);
+  EXPECT_FALSE(dataflow::detect_deadlock(g).deadlocked);
+}
+
+TEST(DataflowDeadlock, TokenlessCycleDeadlocks) {
+  dataflow::Graph g;
+  const auto a = g.add_actor("alpha", 10);
+  const auto b = g.add_actor("beta", 10);
+  g.connect(a, b, 1, 1);
+  g.connect(b, a, 1, 1);  // no initial tokens: nobody can ever fire
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  EXPECT_EQ(rep.blocked.size(), 2u);
+  EXPECT_NE(rep.to_string().find("alpha"), std::string::npos);
+  EXPECT_NE(rep.to_string().find("starved"), std::string::npos);
+}
+
+TEST(DataflowDeadlock, MultiRateCycleNeedsEnoughTokens) {
+  // b consumes 3 per firing from the back edge but only 2 circulate.
+  dataflow::Graph g;
+  const auto a = g.add_actor("a", 10);
+  const auto b = g.add_actor("b", 10);
+  g.connect(a, b, 3, 3);
+  g.connect(b, a, 3, 3, /*initial_tokens=*/2);
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  // The starved actor reports how many tokens it sees vs needs.
+  EXPECT_EQ(rep.blocked[0].tokens_present, 2u);
+  EXPECT_EQ(rep.blocked[0].tokens_needed, 3u);
+}
+
+TEST(DataflowDeadlock, PartialProgressStillReported) {
+  // Source feeds a tokenless cycle: the source fires, the cycle wedges.
+  dataflow::Graph g;
+  const auto s = g.add_actor("src", 10);
+  const auto a = g.add_actor("a", 10);
+  const auto b = g.add_actor("b", 10);
+  g.connect(s, a, 1, 1);
+  g.connect(a, b, 1, 1);
+  g.connect(b, a, 1, 1);  // cycle a<->b, no tokens on the back edge
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  // src completed; a and b are the blocked pair. a has its input from src
+  // but is starved on the back edge from b.
+  EXPECT_EQ(rep.blocked.size(), 2u);
+}
+
+// -------------------------------------------------------------- cic layer
+
+TEST(CicDeadlock, ChannelCycleDiagnosedAtRuntime) {
+  // Two tasks that each wait for the other's token first: classic wait
+  // cycle. Validation passes (structurally fine); the run diagnoses it.
+  cic::CicProgram p("cycle");
+  const auto a = p.add_task("ping", 1'000, {"in"}, {"out"});
+  p.set_period(a, microseconds(10));  // period makes validate() happy —
+  // but ping still blocks on its input port before producing.
+  const auto b = p.add_task("pong", 1'000, {"in"}, {"out"});
+  EXPECT_TRUE(p.connect(a, "out", b, "in").ok());
+  EXPECT_TRUE(p.connect(b, "out", a, "in").ok());
+  ASSERT_TRUE(p.validate().ok());
+
+  cic::CicMapping m;
+  m.task_to_pe = {0, 1};
+  auto tp = cic::TargetProgram::translate(p, cic::ArchInfo::smp_like(2), m);
+  ASSERT_TRUE(tp.ok());
+  const auto r = tp.value().run(5);
+  EXPECT_TRUE(r.deadlocked);
+  ASSERT_EQ(r.blocked_tasks.size(), 2u);
+  EXPECT_EQ(r.blocked_tasks[0], "ping");
+  EXPECT_EQ(r.blocked_tasks[1], "pong");
+}
+
+TEST(CicDeadlock, HealthyPipelineNotFlagged) {
+  cic::CicProgram p("ok");
+  const auto src = p.add_task("src", 1'000, {}, {"o"});
+  p.set_period(src, microseconds(50));
+  const auto snk = p.add_task("snk", 1'000, {"i"}, {});
+  EXPECT_TRUE(p.connect(src, "o", snk, "i").ok());
+  const auto arch = cic::ArchInfo::smp_like(2);
+  auto tp = cic::TargetProgram::translate(
+      p, arch, cic::CicMapping::automatic(p, arch).value());
+  ASSERT_TRUE(tp.ok());
+  const auto r = tp.value().run(10);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_TRUE(r.blocked_tasks.empty());
+}
+
+}  // namespace
+}  // namespace rw

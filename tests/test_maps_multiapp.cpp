@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "maps/multiapp.hpp"
+#include "maps/workloads.hpp"
+
+namespace rw::maps {
+namespace {
+
+TaskGraph small_app(const std::string& name, Cycles work,
+                    DurationPs period, sched::Criticality crit,
+                    DurationPs deadline = 0) {
+  TaskGraph g;
+  g.name = name;
+  const auto a = g.add_task(name + "_in", work / 4);
+  const auto b = g.add_task(name + "_mid", work / 2);
+  const auto c = g.add_task(name + "_out", work / 4);
+  g.add_edge(a, b, 256);
+  g.add_edge(b, c, 256);
+  g.annotation.period = period;
+  g.annotation.deadline = deadline;
+  g.annotation.criticality = crit;
+  return g;
+}
+
+MultiAppConfig four_pes() {
+  MultiAppConfig cfg;
+  cfg.pes.assign(4, PeDesc{sim::PeClass::kRisc, mhz(400)});
+  cfg.comm = simple_comm_cost(nanoseconds(100), 0.004);
+  return cfg;
+}
+
+TEST(MultiApp, SingleHardAppMeetsDeadlines) {
+  // 100k cycles = 250us of work per 1ms period on 4 PEs: easy.
+  const auto app = small_app("ctl", 100'000, milliseconds(1),
+                             sched::Criticality::kHard);
+  const auto r = simulate_multiapp({app}, four_pes());
+  ASSERT_EQ(r.apps.size(), 1u);
+  EXPECT_GT(r.apps[0].jobs_released, 10u);
+  EXPECT_EQ(r.apps[0].jobs_completed, r.apps[0].jobs_released);
+  EXPECT_EQ(r.apps[0].deadline_misses, 0u);
+  EXPECT_GT(r.apps[0].worst_latency, 0u);
+}
+
+TEST(MultiApp, HardProtectedFromBestEffortLoad) {
+  // A hard app plus an oversubscribing best-effort hog: the hard app must
+  // keep meeting deadlines; the hog absorbs the overload.
+  const auto hard = small_app("hard", 200'000, milliseconds(1),
+                              sched::Criticality::kHard);
+  const auto hog = small_app("hog", 3'200'000, milliseconds(2),
+                             sched::Criticality::kBestEffort);
+  const auto r = simulate_multiapp({hog, hard}, four_pes());
+  const auto& hard_res = r.apps[1];
+  const auto& hog_res = r.apps[0];
+  EXPECT_EQ(hard_res.deadline_misses, 0u);
+  EXPECT_GT(hog_res.deadline_misses, 0u);
+  EXPECT_EQ(r.hard_misses(), 0u);
+}
+
+TEST(MultiApp, SoftOutranksBestEffort) {
+  const auto soft = small_app("soft", 1'000'000, milliseconds(2),
+                              sched::Criticality::kSoft);
+  const auto be = small_app("be", 1'000'000, milliseconds(2),
+                            sched::Criticality::kBestEffort);
+  MultiAppConfig cfg;
+  cfg.pes.assign(1, PeDesc{sim::PeClass::kRisc, mhz(400)});
+  cfg.comm = simple_comm_cost(0, 0);
+  const auto r = simulate_multiapp({be, soft}, cfg);
+  // Together they oversubscribe the single PE (2x2.5ms per 2ms); the soft
+  // app's latency must be strictly better than the best-effort one's.
+  EXPECT_LT(r.apps[1].mean_latency, r.apps[0].mean_latency);
+}
+
+TEST(MultiApp, UtilizationReflectsLoad) {
+  const auto app = small_app("a", 400'000, milliseconds(1),
+                             sched::Criticality::kSoft);
+  const auto r = simulate_multiapp({app}, four_pes());
+  // 1ms of work per 1ms period over 4 PEs = 25% utilization.
+  EXPECT_NEAR(r.pe_utilization, 0.25, 0.03);
+}
+
+TEST(MultiApp, HonoursExplicitHorizon) {
+  auto cfg = four_pes();
+  cfg.horizon = milliseconds(4);
+  const auto app = small_app("a", 10'000, milliseconds(1),
+                             sched::Criticality::kSoft);
+  const auto r = simulate_multiapp({app}, cfg);
+  EXPECT_EQ(r.apps[0].jobs_released, 4u);
+}
+
+TEST(MultiApp, RejectsUnannotatedApp) {
+  TaskGraph g;
+  g.add_task("t", 100);
+  EXPECT_THROW(simulate_multiapp({g}, four_pes()),
+               std::invalid_argument);
+}
+
+TEST(MultiApp, PreferredPeRespected) {
+  TaskGraph g = small_app("dspapp", 400'000, milliseconds(1),
+                          sched::Criticality::kSoft);
+  for (auto& t : g.tasks()) t.preferred_pe = sim::PeClass::kDsp;
+  MultiAppConfig cfg;
+  cfg.pes = {PeDesc{sim::PeClass::kRisc, mhz(400)},
+             PeDesc{sim::PeClass::kDsp, mhz(300)}};
+  cfg.comm = simple_comm_cost(0, 0);
+  const auto r = simulate_multiapp({g}, cfg);
+  // Every job completed despite only one allowed PE.
+  EXPECT_EQ(r.apps[0].jobs_completed, r.apps[0].jobs_released);
+}
+
+TEST(MultiApp, WirelessTerminalScenario) {
+  // The paper's motivating mix: a hard radio stack, a soft codec, and a
+  // best-effort UI sharing one heterogeneous terminal.
+  const auto radio = small_app("radio", 300'000, milliseconds(1),
+                               sched::Criticality::kHard);
+  auto codec = h264_encoder_taskgraph(2);
+  codec.annotation.period = milliseconds(12);
+  codec.annotation.criticality = sched::Criticality::kSoft;
+  const auto ui = small_app("ui", 2'000'000, milliseconds(16),
+                            sched::Criticality::kBestEffort);
+
+  MultiAppConfig cfg;
+  cfg.pes = {PeDesc{sim::PeClass::kRisc, mhz(400)},
+             PeDesc{sim::PeClass::kRisc, mhz(400)},
+             PeDesc{sim::PeClass::kDsp, mhz(300)},
+             PeDesc{sim::PeClass::kDsp, mhz(300)}};
+  cfg.comm = simple_comm_cost(nanoseconds(150), 0.004);
+  cfg.horizon = milliseconds(96);
+
+  const auto r = simulate_multiapp({radio, codec, ui}, cfg);
+  EXPECT_EQ(r.hard_misses(), 0u);
+  for (const auto& a : r.apps)
+    EXPECT_EQ(a.jobs_completed, a.jobs_released) << a.name;
+  EXPECT_GT(r.pe_utilization, 0.1);
+  EXPECT_LE(r.pe_utilization, 1.0);
+}
+
+TEST(MultiApp, Deterministic) {
+  const auto a = small_app("a", 500'000, milliseconds(1),
+                           sched::Criticality::kSoft);
+  const auto b = small_app("b", 700'000, milliseconds(3),
+                           sched::Criticality::kHard);
+  const auto r1 = simulate_multiapp({a, b}, four_pes());
+  const auto r2 = simulate_multiapp({a, b}, four_pes());
+  for (std::size_t i = 0; i < r1.apps.size(); ++i) {
+    EXPECT_EQ(r1.apps[i].worst_latency, r2.apps[i].worst_latency);
+    EXPECT_EQ(r1.apps[i].deadline_misses, r2.apps[i].deadline_misses);
+  }
+}
+
+}  // namespace
+}  // namespace rw::maps

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "recoder/analysis.hpp"
+#include "recoder/interp.hpp"
+#include "recoder/parser.hpp"
+#include "recoder/printer.hpp"
+
+namespace rw::recoder {
+namespace {
+
+TEST(Parser, ParsesMinimalFunction) {
+  auto r = parse_program("int main() { return 42; }");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_EQ(r.value().functions.size(), 1u);
+  EXPECT_EQ(r.value().functions[0].name, "main");
+  EXPECT_TRUE(r.value().functions[0].returns_value);
+}
+
+TEST(Parser, ParsesGlobalsAndArrays) {
+  auto r = parse_program(R"(
+    int total;
+    int data[16];
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  ASSERT_EQ(r.value().globals.size(), 2u);
+  EXPECT_EQ(r.value().globals[1]->name, "data");
+  EXPECT_TRUE(r.value().globals[1]->is_array);
+  EXPECT_EQ(r.value().globals[1]->array_size, 16);
+}
+
+TEST(Parser, ParsesControlFlow) {
+  auto r = parse_program(R"(
+    int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+      }
+      while (s > 100) { s = s / 2; }
+      return s;
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+}
+
+TEST(Parser, ParsesPointersAndCalls) {
+  auto r = parse_program(R"(
+    int a[8];
+    int get(int i) { return a[i]; }
+    int main() {
+      int *p = &a[2];
+      *p = 5;
+      *(p + 1) = 6;
+      return get(2) + get(3);
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto e = parse_expression("1 + 2 * 3 == 7 && 4 < 5");
+  ASSERT_TRUE(e.ok());
+  // Top node should be &&.
+  EXPECT_EQ(e.value()->op, "&&");
+  EXPECT_EQ(e.value()->kids[0]->op, "==");
+}
+
+TEST(Parser, CommentsIgnored) {
+  auto r = parse_program(R"(
+    // line comment
+    int main() { /* block
+      comment */ return 1; }
+  )");
+  ASSERT_TRUE(r.ok());
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  auto r = parse_program("int main() {\n  return @;\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().line, 2);
+}
+
+TEST(Parser, RejectsBrokenInput) {
+  EXPECT_FALSE(parse_program("int main() {").ok());
+  EXPECT_FALSE(parse_program("float x;").ok());
+  EXPECT_FALSE(parse_program("int main() { 1 = 2; }").ok());
+  EXPECT_FALSE(parse_program("int a[x];").ok());  // non-literal size
+}
+
+TEST(Printer, RoundTripsPrograms) {
+  const char* src = R"(
+    int buf[4];
+    int add(int a, int b) { return a + b; }
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 4; i = i + 1) {
+        buf[i] = add(i, 2 * i);
+        s = s + buf[i];
+      }
+      if (s > 10) { s = s - 10; }
+      return s;
+    }
+  )";
+  auto p1 = parse_program(src);
+  ASSERT_TRUE(p1.ok());
+  const std::string text1 = print_program(p1.value());
+  auto p2 = parse_program(text1);
+  ASSERT_TRUE(p2.ok()) << p2.error().to_string() << "\n" << text1;
+  EXPECT_EQ(print_program(p2.value()), text1);  // printing is a fixpoint
+}
+
+TEST(Printer, ParenthesizesCorrectly) {
+  auto e = parse_expression("(1 + 2) * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(print_expr(*e.value()), "(1 + 2) * 3");
+  auto e2 = parse_expression("1 + 2 * 3");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(print_expr(*e2.value()), "1 + 2 * 3");
+}
+
+TEST(Interp, Arithmetic) {
+  auto p = parse_program("int main() { return (3 + 4) * 2 - 10 / 5; }");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().return_value, 12);
+}
+
+TEST(Interp, LoopsAndArrays) {
+  auto p = parse_program(R"(
+    int out[5];
+    int main() {
+      for (int i = 0; i < 5; i = i + 1) { out[i] = i * i; }
+      return out[4];
+    })");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().return_value, 16);
+  EXPECT_EQ(r.value().globals.at("out"),
+            (std::vector<std::int64_t>{0, 1, 4, 9, 16}));
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  auto p = parse_program(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); })");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().return_value, 55);
+}
+
+TEST(Interp, ArrayParamsByReference) {
+  auto p = parse_program(R"(
+    void fill(int v[], int n) {
+      for (int i = 0; i < n; i = i + 1) { v[i] = 7; }
+    }
+    int data[3];
+    int main() { fill(data, 3); return data[2]; })");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().return_value, 7);
+}
+
+TEST(Interp, PointerSemantics) {
+  auto p = parse_program(R"(
+    int a[4];
+    int main() {
+      int *p = &a[1];
+      *p = 10;
+      *(p + 2) = 30;
+      return a[1] + a[3];
+    })");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().return_value, 40);
+}
+
+TEST(Interp, ChannelBuiltins) {
+  auto p = parse_program(R"(
+    int main() {
+      chan_send(1, 11);
+      chan_send(1, 22);
+      int a = chan_recv(1);
+      int b = chan_recv(1);
+      return a * 100 + b;
+    })");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().return_value, 1122);
+}
+
+TEST(Interp, RuntimeErrors) {
+  auto oob = parse_program("int a[2]; int main() { return a[5]; }");
+  ASSERT_TRUE(oob.ok());
+  EXPECT_FALSE(interpret(oob.value()).ok());
+
+  auto div0 = parse_program("int main() { return 1 / 0; }");
+  ASSERT_TRUE(div0.ok());
+  EXPECT_FALSE(interpret(div0.value()).ok());
+
+  auto inf = parse_program("int main() { while (1) { } return 0; }");
+  ASSERT_TRUE(inf.ok());
+  EXPECT_FALSE(interpret(inf.value(), "main", {}, 1000).ok());
+
+  auto empty_recv = parse_program("int main() { return chan_recv(0); }");
+  ASSERT_TRUE(empty_recv.ok());
+  EXPECT_FALSE(interpret(empty_recv.value()).ok());
+}
+
+TEST(Interp, MainArguments) {
+  auto p = parse_program("int main(int x, int y) { return x * y; }");
+  ASSERT_TRUE(p.ok());
+  auto r = interpret(p.value(), "main", {6, 7});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().return_value, 42);
+}
+
+TEST(Analysis, VarUses) {
+  auto p = parse_program(R"(
+    int a[4];
+    int main() {
+      int x = 1;
+      a[x] = x + 2;
+      return a[0];
+    })");
+  ASSERT_TRUE(p.ok());
+  const VarUse u = body_uses(p.value().functions[0].body);
+  EXPECT_TRUE(u.writes.count("x"));
+  EXPECT_TRUE(u.writes.count("a"));
+  EXPECT_TRUE(u.reads.count("x"));
+  EXPECT_TRUE(u.reads.count("a"));
+}
+
+TEST(Analysis, CanonicalLoopRecognition) {
+  auto p = parse_program(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+      for (int j = 10; j > 0; j = j - 1) { s = s - 1; }
+      return s;
+    })");
+  ASSERT_TRUE(p.ok());
+  const auto& body = p.value().functions[0].body;
+  const auto cl = canonical_loop(*body[1]);
+  ASSERT_TRUE(cl.has_value());
+  EXPECT_EQ(cl->var, "i");
+  EXPECT_EQ(cl->lower, 0);
+  EXPECT_EQ(cl->upper, 10);
+  EXPECT_FALSE(canonical_loop(*body[2]).has_value());  // descending
+  EXPECT_FALSE(canonical_loop(*body[0]).has_value());  // not a loop
+}
+
+TEST(Analysis, DataParallelLoop) {
+  auto p = parse_program(R"(
+    int a[8];
+    int b[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) {
+        int t = a[i] * 2;
+        b[i] = t;
+      }
+      int s = 0;
+      for (int i = 0; i < 8; i = i + 1) { s = s + b[i]; }
+      return s;
+    })");
+  ASSERT_TRUE(p.ok());
+  const auto& body = p.value().functions[0].body;
+  EXPECT_TRUE(loop_is_data_parallel(*body[0]));
+  EXPECT_FALSE(loop_is_data_parallel(*body[2]));  // s is loop-carried
+}
+
+TEST(Analysis, PointerDetection) {
+  auto p = parse_program(R"(
+    int a[4];
+    int clean() { return a[0]; }
+    int dirty() { int *p = &a[0]; return *p; }
+  )");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(uses_pointers(p.value().functions[0]));
+  EXPECT_TRUE(uses_pointers(p.value().functions[1]));
+}
+
+TEST(Analysis, LineDiff) {
+  EXPECT_EQ(line_diff("a\nb\nc", "a\nb\nc"), 0u);
+  EXPECT_EQ(line_diff("a\nb", "a\nx\nb"), 1u);   // one line added
+  EXPECT_EQ(line_diff("a\nb\nc", "a\nc"), 1u);   // one removed
+  EXPECT_EQ(line_diff("a", "b"), 2u);            // replace = add + remove
+}
+
+TEST(Analysis, NodeCount) {
+  auto p = parse_program("int main() { return 1 + 2; }");
+  ASSERT_TRUE(p.ok());
+  // return stmt + binary + two literals = 4.
+  EXPECT_EQ(count_nodes(p.value()), 4u);
+}
+
+}  // namespace
+}  // namespace rw::recoder

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "recoder/recoder.hpp"
+
+namespace rw::recoder {
+namespace {
+
+RecoderSession open_src(const char* src) {
+  auto s = RecoderSession::from_source(src);
+  EXPECT_TRUE(s.ok()) << s.error().to_string();
+  return std::move(s).take();
+}
+
+TEST(FuseLoops, MergesProducerConsumer) {
+  auto s = open_src(R"(
+    int a[8];
+    int b[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+      for (int j = 0; j < 8; j = j + 1) { b[j] = a[j] + 1; }
+      int r = 0;
+      for (int i = 0; i < 8; i = i + 1) { r = r + b[i]; }
+      return r;
+    })");
+  const auto ref = s.execute();
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(s.cmd_fuse_loops("main", 0).ok()) << s.source();
+  const auto after = s.execute();
+  ASSERT_TRUE(after.ok()) << after.error().to_string() << s.source();
+  EXPECT_EQ(after.value().return_value, ref.value().return_value);
+  // One loop fewer; the second body got the first loop's variable.
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.source().find("for (", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(s.source().find("b[i] = a[i] + 1"), std::string::npos);
+}
+
+TEST(FuseLoops, InverseOfDistribute) {
+  const char* src = R"(
+    int a[8];
+    int b[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) {
+        a[i] = i * 2;
+        b[i] = a[i] + 5;
+      }
+      return b[7];
+    })";
+  auto s = open_src(src);
+  const auto ref = s.execute();
+  ASSERT_TRUE(s.cmd_distribute_loop("main", 0).ok()) << s.source();
+  ASSERT_TRUE(s.cmd_fuse_loops("main", 0).ok()) << s.source();
+  const auto after = s.execute();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().return_value, ref.value().return_value);
+}
+
+TEST(FuseLoops, RefusesDifferentRanges) {
+  auto s = open_src(R"(
+    int a[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { a[i] = i; }
+      for (int i = 0; i < 4; i = i + 1) { a[i] = a[i] + 1; }
+      return a[0];
+    })");
+  EXPECT_FALSE(s.cmd_fuse_loops("main", 0).ok());
+}
+
+TEST(FuseLoops, RefusesNonAdjacentLoops) {
+  auto s = open_src(R"(
+    int a[4];
+    int main() {
+      for (int i = 0; i < 4; i = i + 1) { a[i] = i; }
+      a[0] = 9;
+      for (int i = 0; i < 4; i = i + 1) { a[i] = a[i] + 1; }
+      return a[0];
+    })");
+  EXPECT_FALSE(s.cmd_fuse_loops("main", 0).ok());
+}
+
+TEST(FuseLoops, RefusesUndisciplinedIndex) {
+  // Loop 2 reads a[i+1]-style: fusion would read a slot the (fused) first
+  // half has not produced yet.
+  auto s = open_src(R"(
+    int a[9];
+    int b[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { a[i + 1] = i; }
+      for (int i = 0; i < 8; i = i + 1) { b[i] = a[i + 1]; }
+      return b[7];
+    })");
+  EXPECT_FALSE(s.cmd_fuse_loops("main", 0).ok());
+}
+
+TEST(FuseLoops, RefusesCollidingLocals) {
+  auto s = open_src(R"(
+    int a[4];
+    int b[4];
+    int main() {
+      for (int i = 0; i < 4; i = i + 1) { int t = i; a[i] = t; }
+      for (int i = 0; i < 4; i = i + 1) { int t = 2; b[i] = a[i] * t; }
+      return b[3];
+    })");
+  EXPECT_FALSE(s.cmd_fuse_loops("main", 0).ok());
+}
+
+TEST(FuseLoops, ReadOnlySharedScalarIsFine) {
+  auto s = open_src(R"(
+    int a[4];
+    int b[4];
+    int main() {
+      int k = 5;
+      for (int i = 0; i < 4; i = i + 1) { a[i] = i * k; }
+      for (int i = 0; i < 4; i = i + 1) { b[i] = a[i] + k; }
+      return b[3];
+    })");
+  const auto ref = s.execute();
+  ASSERT_TRUE(s.cmd_fuse_loops("main", 0).ok()) << s.source();
+  EXPECT_EQ(s.execute().value().return_value, ref.value().return_value);
+}
+
+TEST(FuseLoops, RefusesOutOfRangeIndex) {
+  auto s = open_src("int main() { return 0; }");
+  EXPECT_FALSE(s.cmd_fuse_loops("main", 0).ok());
+}
+
+}  // namespace
+}  // namespace rw::recoder

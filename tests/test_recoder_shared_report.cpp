@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "recoder/parser.hpp"
+#include "recoder/shared_report.hpp"
+
+namespace rw::recoder {
+namespace {
+
+std::vector<ArrayReport> report_of(const char* src) {
+  auto p = parse_program(src);
+  EXPECT_TRUE(p.ok()) << p.error().to_string();
+  return analyze_shared_accesses(p.value(),
+                                 *p.value().find_function("main"));
+}
+
+TEST(SharedReport, ChannelizablePattern) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+      int s = 0;
+      for (int j = 0; j < 8; j = j + 1) { s = s + buf[j]; }
+      return s;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kChannelizable);
+  ASSERT_EQ(reps[0].sites.size(), 2u);
+  EXPECT_TRUE(reps[0].sites[0].writes);
+  EXPECT_FALSE(reps[0].sites[0].reads);
+  EXPECT_TRUE(reps[0].sites[1].reads);
+  EXPECT_TRUE(reps[0].sites[0].index_disciplined);
+}
+
+TEST(SharedReport, SplittableDisjointRanges) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 4; i = i + 1) { buf[i] = i; }
+      for (int i = 4; i < 8; i = i + 1) { buf[i] = i * 2; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kSplittable);
+}
+
+TEST(SharedReport, OverlappingMixedAccessKeepsShared) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = buf[i] + 1; }
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = buf[i] * 2; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kKeepShared);
+}
+
+TEST(SharedReport, UndisciplinedIndexNotAnalyzable) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 4; i = i + 1) { buf[i * 2] = i; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
+TEST(SharedReport, UseOutsideLoopsNotAnalyzable) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      buf[0] = 1;
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+      return 0;
+    })");
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
+TEST(SharedReport, RenderMentionsEverything) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+      int s = 0;
+      for (int j = 0; j < 8; j = j + 1) { s = s + buf[j]; }
+      return s;
+    })");
+  const std::string text = render_report(reps);
+  EXPECT_NE(text.find("buf[8]"), std::string::npos);
+  EXPECT_NE(text.find("channelizable"), std::string::npos);
+  EXPECT_NE(text.find("range [0,8)"), std::string::npos);
+}
+
+TEST(SharedReport, IgnoresScalarsAndOtherFunctions) {
+  auto p = parse_program(R"(
+    int x;
+    int other[4];
+    void helper() { other[0] = 1; }
+    int main() { x = 1; return x; }
+  )");
+  ASSERT_TRUE(p.ok());
+  const auto reps =
+      analyze_shared_accesses(p.value(), *p.value().find_function("main"));
+  // `other` appears with no sites in main -> not analyzable; `x` (scalar)
+  // is not reported at all.
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].array, "other");
+  EXPECT_TRUE(reps[0].sites.empty());
+}
+
+}  // namespace
+}  // namespace rw::recoder

@@ -1,0 +1,90 @@
+// Additional policy-level behaviours of the uniprocessor scheduler:
+// deadline-monotonic vs rate-monotonic on constrained deadlines, RR
+// quantum sensitivity, and hyperperiod-boundary regularity.
+#include <gtest/gtest.h>
+
+#include "sched/analysis.hpp"
+#include "sched/uniproc.hpp"
+
+namespace rw::sched {
+namespace {
+
+TEST(PoliciesExtra, DmBeatsRmOnConstrainedDeadlines) {
+  // Classic example: a long-period task with a tight deadline must outrank
+  // a short-period one. RM (period order) misses; DM (deadline order)
+  // does not.
+  TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("loose", 200'000, milliseconds(5));                    // C=2ms
+  ts.add("tight", 200'000, milliseconds(20), milliseconds(3));  // C=2ms D=3ms
+  const auto rm = simulate_uniproc(ts, milliseconds(100),
+                                   {Policy::kRateMonotonic});
+  const auto dm = simulate_uniproc(ts, milliseconds(100),
+                                   {Policy::kDeadlineMonotonic});
+  EXPECT_GT(rm.tasks[1].deadline_misses, 0u);  // tight misses under RM
+  EXPECT_EQ(dm.total_misses(), 0u);
+}
+
+TEST(PoliciesExtra, RrQuantumControlsInterleaving) {
+  TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("a", 400'000, milliseconds(20));
+  ts.add("b", 400'000, milliseconds(20));
+  UniprocConfig fine{Policy::kRoundRobin, 0, microseconds(100)};
+  UniprocConfig coarse{Policy::kRoundRobin, 0, milliseconds(8)};
+  const auto rf = simulate_uniproc(ts, milliseconds(40), fine);
+  const auto rc = simulate_uniproc(ts, milliseconds(40), coarse);
+  // Finer quantum = more context switches.
+  EXPECT_GT(rf.context_switches, rc.context_switches * 4);
+  // Same work either way.
+  EXPECT_EQ(rf.tasks[0].completed, rc.tasks[0].completed);
+}
+
+TEST(PoliciesExtra, RrQuantumWithOverheadHurtsThroughput) {
+  TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("a", 900'000, milliseconds(40));
+  ts.add("b", 900'000, milliseconds(40));
+  UniprocConfig fine{Policy::kRoundRobin, 5'000, microseconds(200)};
+  UniprocConfig coarse{Policy::kRoundRobin, 5'000, milliseconds(5)};
+  const auto rf = simulate_uniproc(ts, milliseconds(40), fine);
+  const auto rc = simulate_uniproc(ts, milliseconds(40), coarse);
+  // With a real switch cost, thrashing burns time: worst response grows.
+  EXPECT_GT(rf.tasks[0].worst_response, rc.tasks[0].worst_response);
+}
+
+TEST(PoliciesExtra, HyperperiodRegularity) {
+  // A feasible set's behaviour over [0, H) repeats over [H, 2H): equal
+  // miss and completion counts in both windows.
+  TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("x", 100'000, milliseconds(4));
+  ts.add("y", 150'000, milliseconds(6));
+  const DurationPs h = hyperperiod(ts);
+  EXPECT_EQ(h, milliseconds(12));
+  const auto one = simulate_uniproc(ts, h, {Policy::kEdf});
+  const auto two = simulate_uniproc(ts, 2 * h, {Policy::kEdf});
+  for (std::size_t i = 0; i < ts.tasks.size(); ++i) {
+    EXPECT_EQ(two.tasks[i].released, 2 * one.tasks[i].released);
+    EXPECT_EQ(two.tasks[i].completed, 2 * one.tasks[i].completed);
+    EXPECT_EQ(two.tasks[i].worst_response, one.tasks[i].worst_response);
+  }
+}
+
+TEST(PoliciesExtra, EdfMissesAreSpreadUnderOverload) {
+  // Under overload EDF degrades every task; FP protects the top task at
+  // the expense of the bottom one. Both shapes are textbook.
+  TaskSet ts;
+  ts.frequency = mhz(100);
+  ts.add("hi", 300'000, milliseconds(5)).fixed_priority = 0;  // U = 0.6
+  ts.add("lo", 300'000, milliseconds(5)).fixed_priority = 1;  // total 1.2
+  const auto fp = simulate_uniproc(ts, milliseconds(100),
+                                   {Policy::kFixedPriority});
+  EXPECT_EQ(fp.tasks[0].deadline_misses, 0u);
+  EXPECT_GT(fp.tasks[1].deadline_misses, 0u);
+  const auto edf = simulate_uniproc(ts, milliseconds(100), {Policy::kEdf});
+  EXPECT_GT(edf.total_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace rw::sched

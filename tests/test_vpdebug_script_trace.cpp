@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "sim/process.hpp"
+#include "vpdebug/script.hpp"
+
+namespace rw::vpdebug {
+namespace {
+
+sim::Process worker(sim::Platform& p, std::size_t core, const char* label) {
+  for (int i = 0; i < 3; ++i) {
+    co_await p.core(core).compute(4'000, label);
+    co_await sim::delay(p.kernel(), microseconds(2));
+  }
+}
+
+class ScriptTraceTest : public ::testing::Test {
+ protected:
+  ScriptTraceTest() {
+    auto cfg = sim::PlatformConfig::homogeneous(2, mhz(400));
+    cfg.trace_enabled = true;
+    platform = std::make_unique<sim::Platform>(std::move(cfg));
+    dbg = std::make_unique<Debugger>(*platform);
+    script = std::make_unique<ScriptEngine>(*dbg);
+  }
+  std::unique_ptr<sim::Platform> platform;
+  std::unique_ptr<Debugger> dbg;
+  std::unique_ptr<ScriptEngine> script;
+};
+
+TEST_F(ScriptTraceTest, HistoryCommandListsBlocks) {
+  sim::spawn(platform->kernel(), worker(*platform, 0, "decode"));
+  ASSERT_TRUE(script->execute_script("run\nhistory 0").ok());
+  const auto& t = script->transcript();
+  EXPECT_NE(t.find("core0 executed 3 blocks"), std::string::npos);
+  EXPECT_NE(t.find("decode"), std::string::npos);
+}
+
+TEST_F(ScriptTraceTest, GanttCommandRendersTimeline) {
+  sim::spawn(platform->kernel(), worker(*platform, 0, "tx"));
+  sim::spawn(platform->kernel(), worker(*platform, 1, "rx"));
+  ASSERT_TRUE(script->execute_script("run\ngantt 32").ok());
+  const auto& t = script->transcript();
+  EXPECT_NE(t.find("core0"), std::string::npos);
+  EXPECT_NE(t.find("core1"), std::string::npos);
+  EXPECT_NE(t.find("legend:"), std::string::npos);
+  EXPECT_NE(t.find("tx"), std::string::npos);
+  EXPECT_NE(t.find("rx"), std::string::npos);
+}
+
+TEST_F(ScriptTraceTest, BadArgumentsRejected) {
+  EXPECT_FALSE(script->execute_line("history").ok());
+  EXPECT_FALSE(script->execute_line("history abc").ok());
+  EXPECT_FALSE(script->execute_line("gantt zero").ok());
+}
+
+}  // namespace
+}  // namespace rw::vpdebug

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "sim/process.hpp"
+#include "vpdebug/tracexport.hpp"
+
+namespace rw::vpdebug {
+namespace {
+
+sim::Process busy_task(sim::Platform& p, std::size_t core, Cycles c,
+                       const char* label, int reps) {
+  for (int i = 0; i < reps; ++i) {
+    co_await p.core(core).compute(c, label);
+    co_await sim::delay(p.kernel(), microseconds(5));
+  }
+}
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  TraceExportTest() {
+    auto cfg = sim::PlatformConfig::homogeneous(2, ghz(1));
+    cfg.trace_enabled = true;
+    platform = std::make_unique<sim::Platform>(std::move(cfg));
+  }
+  std::unique_ptr<sim::Platform> platform;
+};
+
+TEST_F(TraceExportTest, FunctionHistoryPairsStartsAndEnds) {
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 0, 10'000, "fir", 3));
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 1, 5'000, "iir", 2));
+  platform->kernel().run();
+
+  const auto h0 = function_history(platform->tracer().events(),
+                                   sim::CoreId{0});
+  ASSERT_EQ(h0.size(), 3u);
+  for (const auto& b : h0) {
+    EXPECT_EQ(b.label, "fir");
+    EXPECT_EQ(b.end - b.start, cycles_to_ps(10'000, ghz(1)));
+  }
+  // Blocks are time-ordered and non-overlapping on one core.
+  EXPECT_LE(h0[0].end, h0[1].start);
+  EXPECT_LE(h0[1].end, h0[2].start);
+
+  const auto h1 = function_history(platform->tracer().events(),
+                                   sim::CoreId{1});
+  EXPECT_EQ(h1.size(), 2u);
+  EXPECT_EQ(h1[0].label, "iir");
+}
+
+TEST_F(TraceExportTest, GanttShowsBothCoresAndLegend) {
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 0, 10'000, "alpha", 2));
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 1, 10'000, "beta", 2));
+  platform->kernel().run();
+  const auto g = render_gantt(platform->tracer().events(), 2, 0,
+                              platform->kernel().now(), 40);
+  EXPECT_NE(g.find("core0"), std::string::npos);
+  EXPECT_NE(g.find("core1"), std::string::npos);
+  EXPECT_NE(g.find("a=alpha"), std::string::npos);
+  EXPECT_NE(g.find("b=beta"), std::string::npos);
+  // Activity letters appear in the rows.
+  EXPECT_NE(g.find('a'), std::string::npos);
+}
+
+TEST_F(TraceExportTest, GanttEmptyWindow) {
+  EXPECT_EQ(render_gantt({}, 2, 100, 100, 40), "");
+  EXPECT_EQ(render_gantt({}, 2, 0, 100, 0), "");
+}
+
+TEST_F(TraceExportTest, VcdStructureAndToggles) {
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 0, 2'000, "work", 2));
+  platform->timer().start_oneshot(microseconds(3));
+  platform->irqc().set_handler(sim::kIrqTimer, [&](std::size_t line) {
+    platform->irqc().ack(line);
+  });
+  platform->kernel().run();
+
+  const std::string vcd = export_vcd(platform->tracer().events(), 2);
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("core0_busy"), std::string::npos);
+  EXPECT_NE(vcd.find("core1_busy"), std::string::npos);
+  EXPECT_NE(vcd.find("irq0"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // core0 toggles busy twice: two compute blocks -> 2 rises + 2 falls.
+  std::size_t rises = 0, pos = 0;
+  while ((pos = vcd.find("1b0", pos)) != std::string::npos) {
+    ++rises;
+    pos += 3;
+  }
+  EXPECT_EQ(rises, 2u);
+  // The IRQ raises and is acked.
+  EXPECT_NE(vcd.find("1q0"), std::string::npos);
+  EXPECT_NE(vcd.find("0q0"), std::string::npos);
+}
+
+TEST_F(TraceExportTest, VcdTimeMonotonicity) {
+  sim::spawn(platform->kernel(),
+             busy_task(*platform, 0, 1'000, "w", 3));
+  platform->kernel().run();
+  const std::string vcd = export_vcd(platform->tracer().events(), 2);
+  // Every #timestamp line must be non-decreasing.
+  std::uint64_t last = 0;
+  for (const auto& line : rw::split(vcd, '\n')) {
+    if (!line.empty() && line[0] == '#') {
+      std::uint64_t t = 0;
+      ASSERT_TRUE(rw::parse_u64(line.substr(1), t)) << line;
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rw::vpdebug
