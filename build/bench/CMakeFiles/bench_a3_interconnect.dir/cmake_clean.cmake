@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_interconnect.dir/bench_a3_interconnect.cpp.o"
+  "CMakeFiles/bench_a3_interconnect.dir/bench_a3_interconnect.cpp.o.d"
+  "bench_a3_interconnect"
+  "bench_a3_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

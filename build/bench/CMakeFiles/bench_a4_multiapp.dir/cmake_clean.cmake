@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_multiapp.dir/bench_a4_multiapp.cpp.o"
+  "CMakeFiles/bench_a4_multiapp.dir/bench_a4_multiapp.cpp.o.d"
+  "bench_a4_multiapp"
+  "bench_a4_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

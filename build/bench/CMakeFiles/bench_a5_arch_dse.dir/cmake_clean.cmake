@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_arch_dse.dir/bench_a5_arch_dse.cpp.o"
+  "CMakeFiles/bench_a5_arch_dse.dir/bench_a5_arch_dse.cpp.o.d"
+  "bench_a5_arch_dse"
+  "bench_a5_arch_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_arch_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_partitioned.dir/bench_a6_partitioned.cpp.o"
+  "CMakeFiles/bench_a6_partitioned.dir/bench_a6_partitioned.cpp.o.d"
+  "bench_a6_partitioned"
+  "bench_a6_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_hybrid_sched.dir/bench_e10_hybrid_sched.cpp.o"
+  "CMakeFiles/bench_e10_hybrid_sched.dir/bench_e10_hybrid_sched.cpp.o.d"
+  "bench_e10_hybrid_sched"
+  "bench_e10_hybrid_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_hybrid_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_amdahl_boost.dir/bench_e2_amdahl_boost.cpp.o"
+  "CMakeFiles/bench_e2_amdahl_boost.dir/bench_e2_amdahl_boost.cpp.o.d"
+  "bench_e2_amdahl_boost"
+  "bench_e2_amdahl_boost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_amdahl_boost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_trigger_robustness.dir/bench_e3_trigger_robustness.cpp.o"
+  "CMakeFiles/bench_e3_trigger_robustness.dir/bench_e3_trigger_robustness.cpp.o.d"
+  "bench_e3_trigger_robustness"
+  "bench_e3_trigger_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_trigger_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_buffer_bounds.dir/bench_e4_buffer_bounds.cpp.o"
+  "CMakeFiles/bench_e4_buffer_bounds.dir/bench_e4_buffer_bounds.cpp.o.d"
+  "bench_e4_buffer_bounds"
+  "bench_e4_buffer_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_buffer_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

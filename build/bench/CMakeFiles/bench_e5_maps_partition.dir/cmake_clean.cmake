@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_maps_partition.dir/bench_e5_maps_partition.cpp.o"
+  "CMakeFiles/bench_e5_maps_partition.dir/bench_e5_maps_partition.cpp.o.d"
+  "bench_e5_maps_partition"
+  "bench_e5_maps_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_maps_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

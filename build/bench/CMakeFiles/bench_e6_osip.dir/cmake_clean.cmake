@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_osip.dir/bench_e6_osip.cpp.o"
+  "CMakeFiles/bench_e6_osip.dir/bench_e6_osip.cpp.o.d"
+  "bench_e6_osip"
+  "bench_e6_osip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_osip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

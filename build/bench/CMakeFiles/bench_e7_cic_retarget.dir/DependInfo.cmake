@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e7_cic_retarget.cpp" "bench/CMakeFiles/bench_e7_cic_retarget.dir/bench_e7_cic_retarget.cpp.o" "gcc" "bench/CMakeFiles/bench_e7_cic_retarget.dir/bench_e7_cic_retarget.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cic/CMakeFiles/rw_cic.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/rw_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_cic_retarget.dir/bench_e7_cic_retarget.cpp.o"
+  "CMakeFiles/bench_e7_cic_retarget.dir/bench_e7_cic_retarget.cpp.o.d"
+  "bench_e7_cic_retarget"
+  "bench_e7_cic_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cic_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_recoder_productivity.dir/bench_e8_recoder_productivity.cpp.o"
+  "CMakeFiles/bench_e8_recoder_productivity.dir/bench_e8_recoder_productivity.cpp.o.d"
+  "bench_e8_recoder_productivity"
+  "bench_e8_recoder_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_recoder_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_heisenbug.dir/bench_e9_heisenbug.cpp.o"
+  "CMakeFiles/bench_e9_heisenbug.dir/bench_e9_heisenbug.cpp.o.d"
+  "bench_e9_heisenbug"
+  "bench_e9_heisenbug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_heisenbug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h264_retarget.dir/h264_retarget.cpp.o"
+  "CMakeFiles/h264_retarget.dir/h264_retarget.cpp.o.d"
+  "h264_retarget"
+  "h264_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h264_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heisenbug_hunt.dir/heisenbug_hunt.cpp.o"
+  "CMakeFiles/heisenbug_hunt.dir/heisenbug_hunt.cpp.o.d"
+  "heisenbug_hunt"
+  "heisenbug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heisenbug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

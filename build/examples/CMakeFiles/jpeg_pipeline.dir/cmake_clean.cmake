@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_pipeline.dir/jpeg_pipeline.cpp.o"
+  "CMakeFiles/jpeg_pipeline.dir/jpeg_pipeline.cpp.o.d"
+  "jpeg_pipeline"
+  "jpeg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manycore_os.dir/manycore_os.cpp.o"
+  "CMakeFiles/manycore_os.dir/manycore_os.cpp.o.d"
+  "manycore_os"
+  "manycore_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manycore_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_stream.dir/radio_stream.cpp.o"
+  "CMakeFiles/radio_stream.dir/radio_stream.cpp.o.d"
+  "radio_stream"
+  "radio_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_session.dir/recode_session.cpp.o"
+  "CMakeFiles/recode_session.dir/recode_session.cpp.o.d"
+  "recode_session"
+  "recode_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_cic.dir/archfile.cpp.o"
+  "CMakeFiles/rw_cic.dir/archfile.cpp.o.d"
+  "CMakeFiles/rw_cic.dir/dse.cpp.o"
+  "CMakeFiles/rw_cic.dir/dse.cpp.o.d"
+  "CMakeFiles/rw_cic.dir/model.cpp.o"
+  "CMakeFiles/rw_cic.dir/model.cpp.o.d"
+  "CMakeFiles/rw_cic.dir/translator.cpp.o"
+  "CMakeFiles/rw_cic.dir/translator.cpp.o.d"
+  "librw_cic.a"
+  "librw_cic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

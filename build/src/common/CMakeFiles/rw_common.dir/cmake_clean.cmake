@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_common.dir/rng.cpp.o"
+  "CMakeFiles/rw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rw_common.dir/strings.cpp.o"
+  "CMakeFiles/rw_common.dir/strings.cpp.o.d"
+  "CMakeFiles/rw_common.dir/table.cpp.o"
+  "CMakeFiles/rw_common.dir/table.cpp.o.d"
+  "CMakeFiles/rw_common.dir/units.cpp.o"
+  "CMakeFiles/rw_common.dir/units.cpp.o.d"
+  "CMakeFiles/rw_common.dir/xml.cpp.o"
+  "CMakeFiles/rw_common.dir/xml.cpp.o.d"
+  "librw_common.a"
+  "librw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

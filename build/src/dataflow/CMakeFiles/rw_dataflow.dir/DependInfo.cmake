@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/buffers.cpp" "src/dataflow/CMakeFiles/rw_dataflow.dir/buffers.cpp.o" "gcc" "src/dataflow/CMakeFiles/rw_dataflow.dir/buffers.cpp.o.d"
+  "/root/repo/src/dataflow/deadlock.cpp" "src/dataflow/CMakeFiles/rw_dataflow.dir/deadlock.cpp.o" "gcc" "src/dataflow/CMakeFiles/rw_dataflow.dir/deadlock.cpp.o.d"
+  "/root/repo/src/dataflow/executor.cpp" "src/dataflow/CMakeFiles/rw_dataflow.dir/executor.cpp.o" "gcc" "src/dataflow/CMakeFiles/rw_dataflow.dir/executor.cpp.o.d"
+  "/root/repo/src/dataflow/graph.cpp" "src/dataflow/CMakeFiles/rw_dataflow.dir/graph.cpp.o" "gcc" "src/dataflow/CMakeFiles/rw_dataflow.dir/graph.cpp.o.d"
+  "/root/repo/src/dataflow/throughput.cpp" "src/dataflow/CMakeFiles/rw_dataflow.dir/throughput.cpp.o" "gcc" "src/dataflow/CMakeFiles/rw_dataflow.dir/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

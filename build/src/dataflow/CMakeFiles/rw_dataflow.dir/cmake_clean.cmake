@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_dataflow.dir/buffers.cpp.o"
+  "CMakeFiles/rw_dataflow.dir/buffers.cpp.o.d"
+  "CMakeFiles/rw_dataflow.dir/deadlock.cpp.o"
+  "CMakeFiles/rw_dataflow.dir/deadlock.cpp.o.d"
+  "CMakeFiles/rw_dataflow.dir/executor.cpp.o"
+  "CMakeFiles/rw_dataflow.dir/executor.cpp.o.d"
+  "CMakeFiles/rw_dataflow.dir/graph.cpp.o"
+  "CMakeFiles/rw_dataflow.dir/graph.cpp.o.d"
+  "CMakeFiles/rw_dataflow.dir/throughput.cpp.o"
+  "CMakeFiles/rw_dataflow.dir/throughput.cpp.o.d"
+  "librw_dataflow.a"
+  "librw_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

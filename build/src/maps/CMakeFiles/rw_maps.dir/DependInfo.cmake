@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maps/concurrency.cpp" "src/maps/CMakeFiles/rw_maps.dir/concurrency.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/concurrency.cpp.o.d"
+  "/root/repo/src/maps/ir.cpp" "src/maps/CMakeFiles/rw_maps.dir/ir.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/ir.cpp.o.d"
+  "/root/repo/src/maps/mapping.cpp" "src/maps/CMakeFiles/rw_maps.dir/mapping.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/mapping.cpp.o.d"
+  "/root/repo/src/maps/multiapp.cpp" "src/maps/CMakeFiles/rw_maps.dir/multiapp.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/multiapp.cpp.o.d"
+  "/root/repo/src/maps/osip.cpp" "src/maps/CMakeFiles/rw_maps.dir/osip.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/osip.cpp.o.d"
+  "/root/repo/src/maps/partition.cpp" "src/maps/CMakeFiles/rw_maps.dir/partition.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/partition.cpp.o.d"
+  "/root/repo/src/maps/taskgraph.cpp" "src/maps/CMakeFiles/rw_maps.dir/taskgraph.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/taskgraph.cpp.o.d"
+  "/root/repo/src/maps/workloads.cpp" "src/maps/CMakeFiles/rw_maps.dir/workloads.cpp.o" "gcc" "src/maps/CMakeFiles/rw_maps.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rw_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_maps.dir/concurrency.cpp.o"
+  "CMakeFiles/rw_maps.dir/concurrency.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/ir.cpp.o"
+  "CMakeFiles/rw_maps.dir/ir.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/mapping.cpp.o"
+  "CMakeFiles/rw_maps.dir/mapping.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/multiapp.cpp.o"
+  "CMakeFiles/rw_maps.dir/multiapp.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/osip.cpp.o"
+  "CMakeFiles/rw_maps.dir/osip.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/partition.cpp.o"
+  "CMakeFiles/rw_maps.dir/partition.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/taskgraph.cpp.o"
+  "CMakeFiles/rw_maps.dir/taskgraph.cpp.o.d"
+  "CMakeFiles/rw_maps.dir/workloads.cpp.o"
+  "CMakeFiles/rw_maps.dir/workloads.cpp.o.d"
+  "librw_maps.a"
+  "librw_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/recoder/analysis.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/analysis.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/analysis.cpp.o.d"
+  "/root/repo/src/recoder/ast.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/ast.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/ast.cpp.o.d"
+  "/root/repo/src/recoder/interp.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/interp.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/interp.cpp.o.d"
+  "/root/repo/src/recoder/parser.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/parser.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/parser.cpp.o.d"
+  "/root/repo/src/recoder/printer.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/printer.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/printer.cpp.o.d"
+  "/root/repo/src/recoder/recoder.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/recoder.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/recoder.cpp.o.d"
+  "/root/repo/src/recoder/shared_report.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/shared_report.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/shared_report.cpp.o.d"
+  "/root/repo/src/recoder/transforms.cpp" "src/recoder/CMakeFiles/rw_recoder.dir/transforms.cpp.o" "gcc" "src/recoder/CMakeFiles/rw_recoder.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_recoder.dir/analysis.cpp.o"
+  "CMakeFiles/rw_recoder.dir/analysis.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/ast.cpp.o"
+  "CMakeFiles/rw_recoder.dir/ast.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/interp.cpp.o"
+  "CMakeFiles/rw_recoder.dir/interp.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/parser.cpp.o"
+  "CMakeFiles/rw_recoder.dir/parser.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/printer.cpp.o"
+  "CMakeFiles/rw_recoder.dir/printer.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/recoder.cpp.o"
+  "CMakeFiles/rw_recoder.dir/recoder.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/shared_report.cpp.o"
+  "CMakeFiles/rw_recoder.dir/shared_report.cpp.o.d"
+  "CMakeFiles/rw_recoder.dir/transforms.cpp.o"
+  "CMakeFiles/rw_recoder.dir/transforms.cpp.o.d"
+  "librw_recoder.a"
+  "librw_recoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_recoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/analysis.cpp" "src/sched/CMakeFiles/rw_sched.dir/analysis.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/analysis.cpp.o.d"
+  "/root/repo/src/sched/dvfs.cpp" "src/sched/CMakeFiles/rw_sched.dir/dvfs.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/dvfs.cpp.o.d"
+  "/root/repo/src/sched/hybrid.cpp" "src/sched/CMakeFiles/rw_sched.dir/hybrid.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/hybrid.cpp.o.d"
+  "/root/repo/src/sched/partitioned.cpp" "src/sched/CMakeFiles/rw_sched.dir/partitioned.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/partitioned.cpp.o.d"
+  "/root/repo/src/sched/spacealloc.cpp" "src/sched/CMakeFiles/rw_sched.dir/spacealloc.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/spacealloc.cpp.o.d"
+  "/root/repo/src/sched/uniproc.cpp" "src/sched/CMakeFiles/rw_sched.dir/uniproc.cpp.o" "gcc" "src/sched/CMakeFiles/rw_sched.dir/uniproc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

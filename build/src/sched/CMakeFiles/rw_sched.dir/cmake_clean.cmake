@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_sched.dir/analysis.cpp.o"
+  "CMakeFiles/rw_sched.dir/analysis.cpp.o.d"
+  "CMakeFiles/rw_sched.dir/dvfs.cpp.o"
+  "CMakeFiles/rw_sched.dir/dvfs.cpp.o.d"
+  "CMakeFiles/rw_sched.dir/hybrid.cpp.o"
+  "CMakeFiles/rw_sched.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rw_sched.dir/partitioned.cpp.o"
+  "CMakeFiles/rw_sched.dir/partitioned.cpp.o.d"
+  "CMakeFiles/rw_sched.dir/spacealloc.cpp.o"
+  "CMakeFiles/rw_sched.dir/spacealloc.cpp.o.d"
+  "CMakeFiles/rw_sched.dir/uniproc.cpp.o"
+  "CMakeFiles/rw_sched.dir/uniproc.cpp.o.d"
+  "librw_sched.a"
+  "librw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/rw_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/interconnect.cpp" "src/sim/CMakeFiles/rw_sim.dir/interconnect.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/interconnect.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/rw_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/rw_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/peripherals.cpp" "src/sim/CMakeFiles/rw_sim.dir/peripherals.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/peripherals.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/rw_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/rw_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/rw_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

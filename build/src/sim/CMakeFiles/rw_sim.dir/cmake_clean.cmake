@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_sim.dir/core.cpp.o"
+  "CMakeFiles/rw_sim.dir/core.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/interconnect.cpp.o"
+  "CMakeFiles/rw_sim.dir/interconnect.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/kernel.cpp.o"
+  "CMakeFiles/rw_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/memory.cpp.o"
+  "CMakeFiles/rw_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/peripherals.cpp.o"
+  "CMakeFiles/rw_sim.dir/peripherals.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/platform.cpp.o"
+  "CMakeFiles/rw_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/rw_sim.dir/trace.cpp.o"
+  "CMakeFiles/rw_sim.dir/trace.cpp.o.d"
+  "librw_sim.a"
+  "librw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpdebug/debugger.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/debugger.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/debugger.cpp.o.d"
+  "/root/repo/src/vpdebug/race.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/race.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/race.cpp.o.d"
+  "/root/repo/src/vpdebug/replay.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/replay.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/replay.cpp.o.d"
+  "/root/repo/src/vpdebug/script.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/script.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/script.cpp.o.d"
+  "/root/repo/src/vpdebug/tracexport.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/tracexport.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/tracexport.cpp.o.d"
+  "/root/repo/src/vpdebug/victim.cpp" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/victim.cpp.o" "gcc" "src/vpdebug/CMakeFiles/rw_vpdebug.dir/victim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

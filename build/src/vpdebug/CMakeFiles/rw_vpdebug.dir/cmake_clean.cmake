@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_vpdebug.dir/debugger.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/debugger.cpp.o.d"
+  "CMakeFiles/rw_vpdebug.dir/race.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/race.cpp.o.d"
+  "CMakeFiles/rw_vpdebug.dir/replay.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/replay.cpp.o.d"
+  "CMakeFiles/rw_vpdebug.dir/script.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/script.cpp.o.d"
+  "CMakeFiles/rw_vpdebug.dir/tracexport.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/tracexport.cpp.o.d"
+  "CMakeFiles/rw_vpdebug.dir/victim.cpp.o"
+  "CMakeFiles/rw_vpdebug.dir/victim.cpp.o.d"
+  "librw_vpdebug.a"
+  "librw_vpdebug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_vpdebug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

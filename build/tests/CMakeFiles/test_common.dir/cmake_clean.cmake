@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_common_ids_trace.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_ids_trace.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_common_rng.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_common_strings.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_strings.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_common_table.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_common_units.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_units.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_common_xml.cpp.o"
+  "CMakeFiles/test_common.dir/test_common_xml.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

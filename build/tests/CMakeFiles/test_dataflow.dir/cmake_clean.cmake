@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/test_dataflow_csdf_exec.cpp.o"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_csdf_exec.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_executor.cpp.o"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_executor.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_graph.cpp.o"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_graph.cpp.o.d"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_throughput.cpp.o"
+  "CMakeFiles/test_dataflow.dir/test_dataflow_throughput.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

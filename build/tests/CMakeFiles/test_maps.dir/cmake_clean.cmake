@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maps.dir/test_maps_ir_partition.cpp.o"
+  "CMakeFiles/test_maps.dir/test_maps_ir_partition.cpp.o.d"
+  "CMakeFiles/test_maps.dir/test_maps_mapping.cpp.o"
+  "CMakeFiles/test_maps.dir/test_maps_mapping.cpp.o.d"
+  "CMakeFiles/test_maps.dir/test_maps_multiapp.cpp.o"
+  "CMakeFiles/test_maps.dir/test_maps_multiapp.cpp.o.d"
+  "test_maps"
+  "test_maps.pdb"
+  "test_maps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_recoder_frontend.cpp" "tests/CMakeFiles/test_recoder.dir/test_recoder_frontend.cpp.o" "gcc" "tests/CMakeFiles/test_recoder.dir/test_recoder_frontend.cpp.o.d"
+  "/root/repo/tests/test_recoder_fusion.cpp" "tests/CMakeFiles/test_recoder.dir/test_recoder_fusion.cpp.o" "gcc" "tests/CMakeFiles/test_recoder.dir/test_recoder_fusion.cpp.o.d"
+  "/root/repo/tests/test_recoder_rename_unroll.cpp" "tests/CMakeFiles/test_recoder.dir/test_recoder_rename_unroll.cpp.o" "gcc" "tests/CMakeFiles/test_recoder.dir/test_recoder_rename_unroll.cpp.o.d"
+  "/root/repo/tests/test_recoder_shared_report.cpp" "tests/CMakeFiles/test_recoder.dir/test_recoder_shared_report.cpp.o" "gcc" "tests/CMakeFiles/test_recoder.dir/test_recoder_shared_report.cpp.o.d"
+  "/root/repo/tests/test_recoder_transforms.cpp" "tests/CMakeFiles/test_recoder.dir/test_recoder_transforms.cpp.o" "gcc" "tests/CMakeFiles/test_recoder.dir/test_recoder_transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rw_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/rw_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cic/CMakeFiles/rw_cic.dir/DependInfo.cmake"
+  "/root/repo/build/src/recoder/CMakeFiles/rw_recoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpdebug/CMakeFiles/rw_vpdebug.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

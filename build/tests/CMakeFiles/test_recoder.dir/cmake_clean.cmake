@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recoder.dir/test_recoder_frontend.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder_frontend.cpp.o.d"
+  "CMakeFiles/test_recoder.dir/test_recoder_fusion.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder_fusion.cpp.o.d"
+  "CMakeFiles/test_recoder.dir/test_recoder_rename_unroll.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder_rename_unroll.cpp.o.d"
+  "CMakeFiles/test_recoder.dir/test_recoder_shared_report.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder_shared_report.cpp.o.d"
+  "CMakeFiles/test_recoder.dir/test_recoder_transforms.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder_transforms.cpp.o.d"
+  "test_recoder"
+  "test_recoder.pdb"
+  "test_recoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/test_sched_analysis.cpp.o"
+  "CMakeFiles/test_sched.dir/test_sched_analysis.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_sched_partitioned.cpp.o"
+  "CMakeFiles/test_sched.dir/test_sched_partitioned.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_sched_policies_extra.cpp.o"
+  "CMakeFiles/test_sched.dir/test_sched_policies_extra.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_sched_space_hybrid.cpp.o"
+  "CMakeFiles/test_sched.dir/test_sched_space_hybrid.cpp.o.d"
+  "CMakeFiles/test_sched.dir/test_sched_uniproc.cpp.o"
+  "CMakeFiles/test_sched.dir/test_sched_uniproc.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

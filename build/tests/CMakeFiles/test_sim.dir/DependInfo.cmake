@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim_channel.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_channel.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_channel.cpp.o.d"
+  "/root/repo/tests/test_sim_core.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_core.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_core.cpp.o.d"
+  "/root/repo/tests/test_sim_interconnect.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_interconnect.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_interconnect.cpp.o.d"
+  "/root/repo/tests/test_sim_kernel.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_kernel.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_kernel.cpp.o.d"
+  "/root/repo/tests/test_sim_memory.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_memory.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_memory.cpp.o.d"
+  "/root/repo/tests/test_sim_peripherals.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_peripherals.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_peripherals.cpp.o.d"
+  "/root/repo/tests/test_sim_platform.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_platform.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_platform.cpp.o.d"
+  "/root/repo/tests/test_sim_process.cpp" "tests/CMakeFiles/test_sim.dir/test_sim_process.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/rw_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/maps/CMakeFiles/rw_maps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cic/CMakeFiles/rw_cic.dir/DependInfo.cmake"
+  "/root/repo/build/src/recoder/CMakeFiles/rw_recoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpdebug/CMakeFiles/rw_vpdebug.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

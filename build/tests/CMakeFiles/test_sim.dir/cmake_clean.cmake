@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_sim_channel.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_channel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_core.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_core.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_interconnect.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_interconnect.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_kernel.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_kernel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_memory.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_memory.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_peripherals.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_peripherals.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_platform.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_platform.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_process.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_process.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

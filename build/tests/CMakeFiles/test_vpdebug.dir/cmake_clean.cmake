@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug.cpp.o"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug.cpp.o.d"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_dma_watch.cpp.o"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_dma_watch.cpp.o.d"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_script_trace.cpp.o"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_script_trace.cpp.o.d"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_tracexport.cpp.o"
+  "CMakeFiles/test_vpdebug.dir/test_vpdebug_tracexport.cpp.o.d"
+  "test_vpdebug"
+  "test_vpdebug.pdb"
+  "test_vpdebug[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vpdebug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

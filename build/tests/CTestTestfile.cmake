@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_cic[1]_include.cmake")
+include("/root/repo/build/tests/test_recoder[1]_include.cmake")
+include("/root/repo/build/tests/test_vpdebug[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
