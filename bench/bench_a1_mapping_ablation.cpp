@@ -3,11 +3,14 @@
 // MAPS (Sec. IV) maps "using optimization algorithms"; this ablation
 // quantifies what each layer buys: random placement, run-time dynamic
 // dispatch, HEFT list scheduling, and simulated-annealing refinement,
-// across three task-graph shapes.
+// across three task-graph shapes. Each (workload, mapper) cell is one
+// rw::harness run, fanned out over the hardware threads; the pivoted
+// table below is assembled from the collected records.
 #include <cstdio>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "harness/harness.hpp"
 #include "maps/mapping.hpp"
 #include "maps/partition.hpp"
 #include "maps/workloads.hpp"
@@ -53,20 +56,53 @@ int main() {
       {"mixed/8t", partition_program(mixed_kind_program(8), {8, 8.0})
                        .graph});
 
+  const char* mappers[] = {"random", "dynamic", "heft", "anneal"};
+  harness::Scenario scenario("a1_mapping_ablation");
+  for (const auto& w : workloads) {
+    for (const char* m : mappers) {
+      scenario.add_run(
+          std::string(w.name) + ":" + m,
+          [&w, &pes, &comm, m](const harness::RunContext& ctx) {
+            RunMetrics out;
+            const std::string mapper(m);
+            if (mapper == "random")
+              out.makespan =
+                  random_mapping_makespan(w.graph, pes, comm, 50, ctx.seed);
+            else if (mapper == "dynamic")
+              out.makespan = dynamic_schedule(w.graph, pes, comm).makespan;
+            else if (mapper == "heft")
+              out.makespan = heft_map(w.graph, pes, comm).makespan;
+            else
+              out.makespan =
+                  anneal_map(w.graph, pes, comm, 3, 2000).makespan;
+            return out;
+          });
+    }
+  }
+  const auto result = harness::Runner().run(scenario);
+
   std::printf("A1: mapping-algorithm ablation on 2xRISC + 2xDSP\n");
   Table t({"workload", "random best-of-50", "dynamic", "HEFT",
            "HEFT+anneal", "anneal gain vs random"});
   for (const auto& w : workloads) {
-    const TimePs rnd = random_mapping_makespan(w.graph, pes, comm, 50, 7);
-    const TimePs dyn = dynamic_schedule(w.graph, pes, comm).makespan;
-    const TimePs heft = heft_map(w.graph, pes, comm).makespan;
-    const TimePs ann = anneal_map(w.graph, pes, comm, 3, 2000).makespan;
-    t.add_row({w.name, format_time(rnd), format_time(dyn),
-               format_time(heft), format_time(ann),
+    const auto cell = [&](const char* m) {
+      return result.find(std::string(w.name) + ":" + m)->metrics.makespan;
+    };
+    const TimePs rnd = cell("random");
+    const TimePs ann = cell("anneal");
+    t.add_row({w.name, format_time(rnd), format_time(cell("dynamic")),
+               format_time(cell("heft")), format_time(ann),
                Table::num(static_cast<double>(rnd) /
                           static_cast<double>(ann)) + "x"});
   }
   t.print("makespan by mapper");
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s =
+          harness::write_json("BENCH_a1_mapping_ablation.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("expected shape: HEFT/anneal at or below every alternative "
               "(anneal starts from\nHEFT, so it can only improve); dynamic "
               "pays for its lack of lookahead; random\nneeds dozens of "

@@ -3,45 +3,79 @@
 // Sec. II-A demands a "scalable, fast and low-latency chip interconnect";
 // the shared bus is the canonical centralized construct, the mesh the
 // distributed one. All-to-neighbour traffic at growing core counts shows
-// where the bus stops scaling.
+// where the bus stops scaling. Each (cores, interconnect) point is one
+// rw::harness run — independent kernels, so the sweep fans out freely.
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "harness/harness.hpp"
 #include "sim/interconnect.hpp"
 
+namespace {
+
+using namespace rw;
+using namespace rw::sim;
+
+/// Every core sends 1 KiB to its +1 neighbour, all at t=0; the metrics
+/// carry the completion time and total contention.
+template <typename Icn>
+RunMetrics neighbour_traffic(Icn& icn, std::uint32_t n) {
+  TimePs done = 0;
+  for (std::uint32_t c = 0; c < n; ++c)
+    done = std::max(done, icn.reserve_transfer(CoreId{c}, CoreId{(c + 1) % n},
+                                               1024, 0)
+                              .second);
+  RunMetrics m;
+  m.makespan = done;
+  m.set_extra("contention_ps", static_cast<double>(icn.total_contention()));
+  return m;
+}
+
+}  // namespace
+
 int main() {
-  using namespace rw;
-  using namespace rw::sim;
+  const std::uint32_t core_counts[] = {4, 16, 64};
+
+  harness::Scenario scenario("a3_interconnect");
+  for (const std::uint32_t n : core_counts) {
+    const std::uint32_t side = n == 4 ? 2 : (n == 16 ? 4 : 8);
+    scenario.add_run("bus" + std::to_string(n),
+                     [n](const harness::RunContext&) {
+                       Kernel k;
+                       SharedBus bus(k, SharedBus::Config{mhz(200), 8, 4});
+                       return neighbour_traffic(bus, n);
+                     });
+    scenario.add_run(
+        "mesh" + std::to_string(n), [n, side](const harness::RunContext&) {
+          Kernel k;
+          MeshNoc mesh(k, MeshNoc::Config{side, side, nanoseconds(5),
+                                          mhz(500), 4});
+          return neighbour_traffic(mesh, n);
+        });
+  }
+  const auto result = harness::Runner().run(scenario);
 
   std::printf("A3: shared bus vs 2-D mesh under neighbour traffic\n");
   Table t({"cores", "bus: total time", "bus contention", "mesh: total time",
            "mesh contention"});
-
-  for (const std::uint32_t n : {4u, 16u, 64u}) {
-    const std::uint32_t side = n == 4 ? 2 : (n == 16 ? 4 : 8);
-
-    Kernel kb;
-    SharedBus bus(kb, SharedBus::Config{mhz(200), 8, 4});
-    Kernel km;
-    MeshNoc mesh(km,
-                 MeshNoc::Config{side, side, nanoseconds(5), mhz(500), 4});
-
-    // Every core sends 1 KiB to its +1 neighbour, all at t=0.
-    TimePs bus_done = 0, mesh_done = 0;
-    for (std::uint32_t c = 0; c < n; ++c) {
-      const CoreId src{c};
-      const CoreId dst{(c + 1) % n};
-      bus_done = std::max(bus_done,
-                          bus.reserve_transfer(src, dst, 1024, 0).second);
-      mesh_done = std::max(mesh_done,
-                           mesh.reserve_transfer(src, dst, 1024, 0).second);
-    }
+  for (const std::uint32_t n : core_counts) {
+    const auto& bus = result.find("bus" + std::to_string(n))->metrics;
+    const auto& mesh = result.find("mesh" + std::to_string(n))->metrics;
     t.add_row({Table::num(static_cast<std::uint64_t>(n)),
-               format_time(bus_done), format_time(bus.total_contention()),
-               format_time(mesh_done),
-               format_time(mesh.total_contention())});
+               format_time(bus.makespan),
+               format_time(static_cast<TimePs>(bus.extra_or("contention_ps"))),
+               format_time(mesh.makespan),
+               format_time(
+                   static_cast<TimePs>(mesh.extra_or("contention_ps")))});
   }
   t.print("1 KiB per core to its neighbour, all simultaneously");
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s =
+          harness::write_json("BENCH_a3_interconnect.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("expected shape: bus completion time grows linearly with core "
               "count (every\ntransfer serializes); the mesh's stays nearly "
               "flat — neighbour links are\ndisjoint. This is Sec. II-A's "

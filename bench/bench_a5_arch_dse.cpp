@@ -2,11 +2,19 @@
 // future-work item, "exploration of optimal target architecture", made
 // concrete): sweep SMP and Cell-like candidates for the H.264-like CIC
 // program and print the area/performance Pareto front.
+//
+// Since the rw::harness port, the sweep runs twice — serial and fanned out
+// over every hardware thread — to demonstrate the harness determinism
+// contract (identical Pareto front) and measure the wall-clock speedup.
+// Machine-readable results land in BENCH_harness.json.
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "cic/dse.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "harness/harness.hpp"
 
 namespace {
 
@@ -29,6 +37,21 @@ rw::cic::CicProgram h264_like() {
   return p;
 }
 
+/// Deterministic one-line fingerprint of a DSE sweep (everything except
+/// wall clocks) for the byte-identical serial-vs-parallel comparison.
+std::string sweep_fingerprint(const std::vector<rw::cic::DsePoint>& pts) {
+  std::string s;
+  for (const auto& p : pts)
+    s += rw::strformat("%s a=%.3f m=%llu u=%.6f d=%llu f=%d p=%d\n",
+                       p.arch.name.c_str(), p.area_cost,
+                       static_cast<unsigned long long>(p.metrics.makespan),
+                       p.metrics.mean_core_utilization,
+                       static_cast<unsigned long long>(
+                           p.metrics.deadline_misses),
+                       p.feasible, p.pareto);
+  return s;
+}
+
 }  // namespace
 
 int main() {
@@ -36,28 +59,70 @@ int main() {
   using namespace rw::cic;
 
   const auto prog = h264_like();
-  const auto points =
-      explore_architectures(prog, default_candidates(8), {30, false});
+  const auto candidates = default_candidates(8);
+  // Annealing makes each candidate evaluation heavy enough that the
+  // fan-out's thread-pool overhead is noise against the per-run work.
+  DseConfig cfg{60, true, 1};
+
+  const auto wall_ms = [](auto fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::vector<DsePoint> serial_pts, parallel_pts;
+  harness::ScenarioResult serial_fanout, parallel_fanout;
+  const double serial_ms = wall_ms([&] {
+    serial_pts = explore_architectures(prog, candidates, cfg, &serial_fanout);
+  });
+  cfg.threads = 0;  // one worker per hardware thread
+  const double parallel_ms = wall_ms([&] {
+    parallel_pts =
+        explore_architectures(prog, candidates, cfg, &parallel_fanout);
+  });
 
   std::printf("A5: architecture DSE for the H.264-like CIC program "
-              "(30 frames per run)\n");
+              "(60 frames per run, annealed mapping)\n");
   Table t({"candidate", "style", "area", "makespan", "util", "Pareto?"});
-  for (const auto& p : points) {
+  for (const auto& p : parallel_pts) {
     t.add_row({p.arch.name, memory_style_name(p.arch.style),
                Table::num(p.area_cost, 1),
-               p.feasible ? format_time(p.makespan) : "-",
-               p.feasible ? Table::percent(p.mean_core_utilization) : "-",
+               p.feasible ? format_time(p.metrics.makespan) : "-",
+               p.feasible ? Table::percent(p.metrics.mean_core_utilization)
+                          : "-",
                p.pareto ? "YES" : ""});
   }
   t.print("16 candidates, area vs performance");
 
   std::printf("Pareto front (pick by your area budget):\n");
-  for (const auto& p : points)
+  for (const auto& p : parallel_pts)
     if (p.pareto)
       std::printf("  %-8s area %.1f -> %s\n", p.arch.name.c_str(),
-                  p.area_cost, format_time(p.makespan).c_str());
+                  p.area_cost, format_time(p.metrics.makespan).c_str());
+
+  const bool identical =
+      sweep_fingerprint(serial_pts) == sweep_fingerprint(parallel_pts);
+  const double speedup = parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  std::printf("\nharness fan-out: %zu candidates, serial %.0fms vs %zu "
+              "threads %.0fms -> %.2fx speedup; results %s\n",
+              candidates.size(), serial_ms, parallel_fanout.threads_used,
+              parallel_ms, speedup,
+              identical ? "byte-identical" : "DIVERGED (BUG)");
+
+  serial_fanout.scenario = "a5_arch_dse_serial";
+  parallel_fanout.scenario = "a5_arch_dse_parallel";
+  if (const auto s = harness::write_json(
+          "BENCH_harness.json", {serial_fanout, parallel_fanout});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
+  else
+    std::printf("wrote BENCH_harness.json\n");
+
   std::printf("\nexpected shape: small SMPs anchor the cheap end; DSP-rich "
               "cell-likes win the\nfast end (motion estimation prefers "
-              "DSPs); mid-size dominated points drop out.\n");
-  return 0;
+              "DSPs); mid-size dominated points drop out;\nspeedup tracks "
+              "hardware threads (runs are independent simulations).\n");
+  return identical ? 0 : 1;
 }

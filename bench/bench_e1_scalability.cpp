@@ -6,43 +6,69 @@
 // Shape to reproduce: with a distributed allocator, throughput of a
 // many-job parallel workload scales near-linearly in core count; with one
 // centralized arbiter, the curve flattens as arbitration serializes.
+// Each (cores, strategy) configuration is an independent rw::harness run.
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "harness/harness.hpp"
 #include "sched/spacealloc.hpp"
 
+namespace {
+
+using namespace rw;
+using namespace rw::sched;
+
+RunMetrics run_cfg(std::size_t cores, ArbitrationStrategy strat) {
+  GangConfig cfg;
+  cfg.total_cores = cores;
+  cfg.strategy = strat;
+  cfg.arbiters = std::max<std::size_t>(1, cores / 4);
+  cfg.arbitration_latency = microseconds(4);
+  std::vector<GangRequest> reqs;
+  for (int i = 0; i < 1024; ++i) {
+    ParallelApp app;
+    app.name = "job" + std::to_string(i);
+    app.total_work = 60'000;  // 150 us at 400 MHz: fine-grained jobs
+    app.serial_fraction = 0.0;
+    app.min_cores = app.max_cores = 1;
+    reqs.push_back({app, 0});
+  }
+  return run_gang_schedule(cfg, std::move(reqs)).to_metrics();
+}
+
+std::string label(std::size_t cores, ArbitrationStrategy strat) {
+  return std::string(arbitration_name(strat)) + std::to_string(cores);
+}
+
+}  // namespace
+
 int main() {
-  using namespace rw;
-  using namespace rw::sched;
+  const std::size_t core_counts[] = {1, 2, 4, 8, 16, 32, 64};
+  const ArbitrationStrategy strategies[] = {
+      ArbitrationStrategy::kCentralized, ArbitrationStrategy::kDistributed};
+
+  harness::Scenario scenario("e1_scalability");
+  for (const std::size_t cores : core_counts)
+    for (const auto strat : strategies)
+      scenario.add_run(label(cores, strat),
+                       [cores, strat](const harness::RunContext&) {
+                         return run_cfg(cores, strat);
+                       });
+  const auto result = harness::Runner().run(scenario);
+
+  const auto metric = [&](std::size_t cores, ArbitrationStrategy strat) {
+    return result.find(label(cores, strat))->metrics;
+  };
+  const auto base_c = metric(1, ArbitrationStrategy::kCentralized);
+  const auto base_d = metric(1, ArbitrationStrategy::kDistributed);
 
   std::printf("E1: space-shared scalability, centralized vs distributed "
               "arbitration\n");
   Table t({"cores", "central makespan", "central speedup",
            "distrib makespan", "distrib speedup", "central arb wait"});
-
-  auto run_cfg = [](std::size_t cores, ArbitrationStrategy strat) {
-    GangConfig cfg;
-    cfg.total_cores = cores;
-    cfg.strategy = strat;
-    cfg.arbiters = std::max<std::size_t>(1, cores / 4);
-    cfg.arbitration_latency = microseconds(4);
-    std::vector<GangRequest> reqs;
-    for (int i = 0; i < 1024; ++i) {
-      ParallelApp app;
-      app.name = "job" + std::to_string(i);
-      app.total_work = 60'000;  // 150 us at 400 MHz: fine-grained jobs
-      app.serial_fraction = 0.0;
-      app.min_cores = app.max_cores = 1;
-      reqs.push_back({app, 0});
-    }
-    return run_gang_schedule(cfg, std::move(reqs));
-  };
-
-  const auto base_c = run_cfg(1, ArbitrationStrategy::kCentralized);
-  const auto base_d = run_cfg(1, ArbitrationStrategy::kDistributed);
-  for (const std::size_t cores : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    const auto rc = run_cfg(cores, ArbitrationStrategy::kCentralized);
-    const auto rd = run_cfg(cores, ArbitrationStrategy::kDistributed);
+  for (const std::size_t cores : core_counts) {
+    const auto rc = metric(cores, ArbitrationStrategy::kCentralized);
+    const auto rd = metric(cores, ArbitrationStrategy::kDistributed);
     t.add_row({Table::num(static_cast<std::uint64_t>(cores)),
                format_time(rc.makespan),
                Table::num(static_cast<double>(base_c.makespan) /
@@ -50,9 +76,17 @@ int main() {
                format_time(rd.makespan),
                Table::num(static_cast<double>(base_d.makespan) /
                           static_cast<double>(rd.makespan)),
-               format_time(rc.arbitration_wait)});
+               format_time(static_cast<TimePs>(
+                   rc.extra_or("arbitration_wait_ps")))});
   }
   t.print("1024 fine-grained jobs through the pool");
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s =
+          harness::write_json("BENCH_e1_scalability.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("expected shape: distributed speedup tracks core count; "
               "centralized saturates\nonce the arbiter is the "
               "bottleneck (its waiting time keeps growing).\n");

@@ -47,9 +47,8 @@ ArchInfo ArchInfo::smp_like(std::size_t cores) {
 }
 
 Result<ArchInfo> parse_arch_file(const std::string& xml_text) {
-  auto doc = xml::parse(xml_text);
-  if (!doc.ok()) return doc.error();
-  const xml::Element& root = *doc.value();
+  const auto doc = RW_TRY(xml::parse(xml_text));
+  const xml::Element& root = *doc;
   if (root.name != "architecture")
     return make_error("root element must be <architecture>", root.line);
 
@@ -122,12 +121,21 @@ Result<ArchInfo> parse_arch_file(const std::string& xml_text) {
   return arch;
 }
 
-Result<ArchInfo> load_arch_file(const std::string& path) {
+namespace {
+
+Result<std::string> read_text_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) return make_error("cannot open architecture file '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parse_arch_file(buf.str());
+  return buf.str();
+}
+
+}  // namespace
+
+Result<ArchInfo> load_arch_file(const std::string& path) {
+  return read_text_file(path).and_then(
+      [](const std::string& text) { return parse_arch_file(text); });
 }
 
 Status save_arch_file(const ArchInfo& arch, const std::string& path) {

@@ -44,33 +44,37 @@ std::vector<ArchInfo> default_candidates(std::size_t max_cores) {
 
 std::vector<DsePoint> explore_architectures(
     const CicProgram& prog, const std::vector<ArchInfo>& candidates,
-    const DseConfig& cfg) {
-  std::vector<DsePoint> points;
-  points.reserve(candidates.size());
+    const DseConfig& cfg, harness::ScenarioResult* fanout) {
+  std::vector<DsePoint> points(candidates.size());
 
-  for (const auto& arch : candidates) {
-    DsePoint pt;
-    pt.arch = arch;
-    pt.area_cost = architecture_area(arch);
-    const auto mapping = cfg.use_annealing
-                             ? CicMapping::optimized(prog, arch)
-                             : CicMapping::automatic(prog, arch);
-    if (!mapping.ok()) {
-      points.push_back(std::move(pt));
-      continue;
-    }
-    auto target = TargetProgram::translate(prog, arch, mapping.value());
-    if (!target.ok()) {
-      points.push_back(std::move(pt));
-      continue;
-    }
-    const auto r = target.value().run(cfg.iterations);
-    pt.feasible = true;
-    pt.makespan = r.makespan;
-    pt.mean_core_utilization = r.mean_core_utilization;
-    pt.deadline_misses = r.deadline_misses;
-    points.push_back(std::move(pt));
+  // One harness run per candidate. Each run writes only its own point, so
+  // the fan-out is race-free, and nothing below depends on wall time or
+  // thread identity — parallel evaluation is bit-identical to serial.
+  harness::Scenario scenario("cic_dse");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ArchInfo& arch = candidates[i];
+    scenario.add_run(
+        arch.name.empty() ? strformat("candidate%zu", i) : arch.name,
+        [&prog, &arch, &cfg, &pt = points[i]](const harness::RunContext&) {
+          pt.arch = arch;
+          pt.area_cost = architecture_area(arch);
+          const auto mapping = cfg.use_annealing
+                                   ? CicMapping::optimized(prog, arch)
+                                   : CicMapping::automatic(prog, arch);
+          if (!mapping.ok()) return RunMetrics{};
+          auto target = TargetProgram::translate(prog, arch, mapping.value());
+          if (!target.ok()) return RunMetrics{};
+          const auto r = target.value().run(cfg.iterations);
+          pt.feasible = true;
+          pt.metrics.makespan = r.makespan;
+          pt.metrics.mean_core_utilization = r.mean_core_utilization;
+          pt.metrics.deadline_misses = r.deadline_misses;
+          return pt.metrics;
+        });
   }
+  harness::ScenarioResult result =
+      harness::Runner({cfg.threads}).run(scenario);
+  if (fanout) *fanout = std::move(result);
 
   // Pareto marking: a feasible point dominates another when it is no
   // worse in both area and makespan and better in at least one.
@@ -79,10 +83,10 @@ std::vector<DsePoint> explore_architectures(
     bool dominated = false;
     for (const auto& q : points) {
       if (!q.feasible || &q == &p) continue;
-      const bool no_worse =
-          q.area_cost <= p.area_cost && q.makespan <= p.makespan;
-      const bool better =
-          q.area_cost < p.area_cost || q.makespan < p.makespan;
+      const bool no_worse = q.area_cost <= p.area_cost &&
+                            q.metrics.makespan <= p.metrics.makespan;
+      const bool better = q.area_cost < p.area_cost ||
+                          q.metrics.makespan < p.metrics.makespan;
       if (no_worse && better) {
         dominated = true;
         break;

@@ -16,23 +16,25 @@
 #include "cic/archfile.hpp"
 #include "cic/model.hpp"
 #include "cic/translator.hpp"
+#include "common/run_metrics.hpp"
+#include "harness/harness.hpp"
 
 namespace rw::cic {
 
 struct DsePoint {
   ArchInfo arch;
   double area_cost = 0;       // abstract area units
-  TimePs makespan = 0;        // for the evaluation run
-  double mean_core_utilization = 0;
-  std::uint64_t deadline_misses = 0;
+  RunMetrics metrics;         // evaluation-run makespan/utilization/misses
   bool feasible = false;      // mapped + translated + ran
   bool pareto = false;        // on the cost/performance front
 
+  [[nodiscard]] TimePs makespan() const { return metrics.makespan; }
+
   /// Throughput proxy: iterations per millisecond of simulated time.
   [[nodiscard]] double iterations_per_ms(std::uint64_t iterations) const {
-    if (makespan == 0) return 0;
+    if (metrics.makespan == 0) return 0;
     return static_cast<double>(iterations) * 1e9 /
-           static_cast<double>(makespan);
+           static_cast<double>(metrics.makespan);
   }
 };
 
@@ -42,14 +44,20 @@ double architecture_area(const ArchInfo& arch);
 struct DseConfig {
   std::uint64_t iterations = 30;  // evaluation run length
   bool use_annealing = false;     // refine each mapping (slower, better)
+  /// Worker threads for candidate evaluation: 1 = serial, 0 = one per
+  /// hardware thread. Candidate runs are independent single-threaded
+  /// simulations, so the resulting points are bit-identical for any value.
+  std::size_t threads = 0;
 };
 
 /// Evaluate every candidate; mark the Pareto-optimal ones (minimal area
 /// for their makespan and vice versa). Candidates that fail to map are
-/// returned with feasible=false and never Pareto.
+/// returned with feasible=false and never Pareto. Evaluation fans out over
+/// rw::harness; pass `fanout` to receive the per-run harness records
+/// (wall clocks, seeds) for metrics export.
 std::vector<DsePoint> explore_architectures(
     const CicProgram& prog, const std::vector<ArchInfo>& candidates,
-    const DseConfig& cfg = {});
+    const DseConfig& cfg = {}, harness::ScenarioResult* fanout = nullptr);
 
 /// A default candidate sweep: SMPs of 1..8 cores and Cell-likes of 1..8
 /// SPEs (the two styles the paper's experiments used).

@@ -1,0 +1,142 @@
+#include "common/json.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace rw::json {
+
+std::string Writer::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strformat("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+void Writer::indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * is_object_.size(), ' ');
+}
+
+void Writer::prepare_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  assert(is_object_.empty() || !is_object_.back());  // values in objects need key()
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+    indent();
+  }
+}
+
+Writer& Writer::begin_object() {
+  prepare_value();
+  out_ += '{';
+  is_object_.push_back(true);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  assert(!is_object_.empty() && is_object_.back());
+  const bool had = has_items_.back();
+  is_object_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  prepare_value();
+  out_ += '[';
+  is_object_.push_back(false);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  assert(!is_object_.empty() && !is_object_.back());
+  const bool had = has_items_.back();
+  is_object_.pop_back();
+  has_items_.pop_back();
+  if (had) indent();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  assert(!is_object_.empty() && is_object_.back());
+  assert(!after_key_);
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  indent();
+  out_ += '"' + escape(k) + "\":";
+  if (pretty_) out_ += ' ';
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view s) {
+  prepare_value();
+  out_ += '"' + escape(s) + '"';
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  prepare_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  // %.17g round-trips any double; trim when a shorter form is exact.
+  std::string s = strformat("%.17g", v);
+  if (const std::string shorter = strformat("%.15g", v);
+      std::stod(shorter) == v)
+    s = shorter;
+  out_ += s;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  prepare_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  prepare_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  prepare_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace rw::json

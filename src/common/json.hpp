@@ -1,0 +1,64 @@
+// Minimal JSON emission for machine-readable experiment output.
+//
+// The benches and the harness export BENCH_*.json files that downstream
+// tooling (plots, regression tracking) can parse without scraping ASCII
+// tables. Emission only — this repo never needs to parse JSON, so there is
+// no reader half. Output is deterministic: keys appear in insertion order
+// and doubles render with enough digits to round-trip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rw::json {
+
+/// Streaming writer with structural validation by assertion. Typical use:
+///
+///   json::Writer w;
+///   w.begin_object();
+///   w.key("name").value("a5_arch_dse");
+///   w.key("runs").begin_array();
+///   ...
+///   w.end_array().end_object();
+///   write_file(path, w.str());
+class Writer {
+ public:
+  explicit Writer(bool pretty = true) : pretty_(pretty) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view s);
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(double v);
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// The document so far. Call once nesting is back to depth zero.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+ private:
+  void prepare_value();  // comma/newline/indent bookkeeping before a value
+  void indent();
+
+  std::string out_;
+  std::vector<bool> is_object_;   // nesting stack: true = object
+  std::vector<bool> has_items_;   // whether current container needs a comma
+  bool pretty_;
+  bool after_key_ = false;
+};
+
+}  // namespace rw::json

@@ -66,6 +66,40 @@ class Result {
     return ok() ? std::get<T>(data_) : std::move(fallback);
   }
 
+  /// The stored error, or `fallback` when the result is ok. Lets callers
+  /// that need an Error unconditionally (diagnostics, aggregation) avoid
+  /// branching on ok() themselves.
+  [[nodiscard]] Error error_or(Error fallback) const {
+    return ok() ? std::move(fallback) : std::get<Error>(data_);
+  }
+
+  /// Apply `f` to the value, propagating the error: Result<T> -> Result<U>
+  /// for f: T -> U.
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) const& -> Result<decltype(f(
+      std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return f(std::get<T>(data_));
+  }
+  template <typename F>
+  [[nodiscard]] auto map(F&& f) && -> Result<decltype(f(std::declval<T&&>()))> {
+    if (!ok()) return error();
+    return f(std::get<T>(std::move(data_)));
+  }
+
+  /// Chain a fallible step: Result<T> -> Result<U> for f: T -> Result<U>.
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) const& -> decltype(f(
+      std::declval<const T&>())) {
+    if (!ok()) return error();
+    return f(std::get<T>(data_));
+  }
+  template <typename F>
+  [[nodiscard]] auto and_then(F&& f) && -> decltype(f(std::declval<T&&>())) {
+    if (!ok()) return error();
+    return f(std::get<T>(std::move(data_)));
+  }
+
  private:
   std::variant<T, Error> data_;
 };
@@ -86,6 +120,11 @@ class Status {
     return *error_;
   }
 
+  /// The stored error, or `fallback` when the status is ok.
+  [[nodiscard]] Error error_or(Error fallback) const {
+    return ok() ? std::move(fallback) : *error_;
+  }
+
  private:
   std::optional<Error> error_;
 };
@@ -93,5 +132,26 @@ class Status {
 inline Error make_error(std::string msg, int line = 0, int column = 0) {
   return Error{std::move(msg), line, column};
 }
+
+/// Unwrap a Result<T> expression, early-returning its Error from the
+/// enclosing function (which must return Result<U> or Status) on failure:
+///
+///   const auto doc = RW_TRY(xml::parse(text));
+///
+/// Uses a GNU statement expression (supported by GCC and Clang, the two
+/// toolchains this repo builds with) so the macro yields a value.
+#define RW_TRY(expr)                                        \
+  ({                                                        \
+    auto rw_try_result_ = (expr);                           \
+    if (!rw_try_result_.ok()) return rw_try_result_.error(); \
+    std::move(rw_try_result_).take();                       \
+  })
+
+/// Same early-return for Status (or any Result whose value is discarded).
+#define RW_TRY_STATUS(expr)                                    \
+  do {                                                         \
+    if (auto rw_try_status_ = (expr); !rw_try_status_.ok())    \
+      return rw_try_status_.error();                           \
+  } while (0)
 
 }  // namespace rw

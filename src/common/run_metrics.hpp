@@ -1,0 +1,65 @@
+// Shared per-run experiment metrics.
+//
+// Every experiment in this repo boils down to "run one deterministic
+// simulation, report how it went". Before the harness existed, each caller
+// kept its own copy of the same counters (cic::DsePoint, bench-local
+// structs, sched gang results); RunMetrics is the one shared shape, and the
+// split matters: the simulation fields are bit-reproducible from the seed,
+// wall_ns is host measurement noise and is excluded from equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rw {
+
+struct RunMetrics {
+  // Deterministic simulation outputs.
+  TimePs makespan = 0;
+  double mean_core_utilization = 0.0;
+  std::uint64_t deadline_misses = 0;
+
+  /// Named domain-specific counters (contention, arbitration wait,
+  /// messages...). An ordered vector, not a map, so that rendering order is
+  /// deterministic and matches insertion.
+  std::vector<std::pair<std::string, double>> extra;
+
+  // Host-side measurement: wall-clock nanoseconds for the run. NOT part of
+  // sim_equal() — it varies between executions by construction.
+  std::uint64_t wall_ns = 0;
+
+  /// Set (or overwrite) a named counter.
+  void set_extra(std::string name, double v) {
+    for (auto& [k, old] : extra) {
+      if (k == name) {
+        old = v;
+        return;
+      }
+    }
+    extra.emplace_back(std::move(name), v);
+  }
+
+  /// Named counter value, or `fallback` when absent.
+  [[nodiscard]] double extra_or(std::string_view name,
+                                double fallback = 0.0) const {
+    for (const auto& [k, v] : extra)
+      if (k == name) return v;
+    return fallback;
+  }
+
+  /// Equality over the deterministic simulation fields only (ignores
+  /// wall_ns). This is the relation the harness's "parallel == serial"
+  /// guarantee is stated in.
+  [[nodiscard]] bool sim_equal(const RunMetrics& o) const {
+    return makespan == o.makespan &&
+           mean_core_utilization == o.mean_core_utilization &&
+           deadline_misses == o.deadline_misses && extra == o.extra;
+  }
+};
+
+}  // namespace rw

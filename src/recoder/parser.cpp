@@ -169,21 +169,16 @@ class Parser {
       lex_ = saved;  // rewind
       (void)pointer;
       if (is_fn) {
-        auto f = parse_function();
-        if (!f.ok()) return f.error();
-        prog.functions.push_back(std::move(f).take());
+        prog.functions.push_back(RW_TRY(parse_function()));
       } else {
-        auto d = parse_decl();
-        if (!d.ok()) return d.error();
-        prog.globals.push_back(std::move(d).take());
+        prog.globals.push_back(RW_TRY(parse_decl()));
       }
     }
     return prog;
   }
 
   Result<ExprPtr> parse_single_expression() {
-    auto e = parse_expr();
-    if (!e.ok()) return e;
+    ExprPtr e = RW_TRY(parse_expr());
     if (lex_.peek().kind != Tok::kEof) return err("trailing tokens");
     return e;
   }
@@ -207,11 +202,10 @@ class Parser {
     Function f;
     f.returns_value = lex_.take().kind == Tok::kInt;
     f.name = lex_.take().text;
-    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
+    RW_TRY_STATUS(expect(Tok::kLParen, "'('"));
     if (lex_.peek().kind != Tok::kRParen) {
       for (;;) {
-        if (auto s = expect(Tok::kInt, "'int' in parameter"); !s.ok())
-          return s.error();
+        RW_TRY_STATUS(expect(Tok::kInt, "'int' in parameter"));
         Param p;
         if (is_punct("*")) {
           lex_.take();
@@ -222,8 +216,7 @@ class Parser {
         p.name = lex_.take().text;
         if (lex_.peek().kind == Tok::kLBracket) {
           lex_.take();
-          if (auto s = expect(Tok::kRBracket, "']'"); !s.ok())
-            return s.error();
+          RW_TRY_STATUS(expect(Tok::kRBracket, "']'"));
           p.is_array = true;
         }
         f.params.push_back(std::move(p));
@@ -231,21 +224,17 @@ class Parser {
         lex_.take();
       }
     }
-    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
-    auto body = parse_block();
-    if (!body.ok()) return body.error();
-    f.body = std::move(body).take();
+    RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
+    f.body = RW_TRY(parse_block());
     return f;
   }
 
   Result<std::vector<StmtPtr>> parse_block() {
-    if (auto s = expect(Tok::kLBrace, "'{'"); !s.ok()) return s.error();
+    RW_TRY_STATUS(expect(Tok::kLBrace, "'{'"));
     std::vector<StmtPtr> body;
     while (lex_.peek().kind != Tok::kRBrace) {
       if (lex_.peek().kind == Tok::kEof) return err("unterminated block");
-      auto st = parse_stmt();
-      if (!st.ok()) return st.error();
-      body.push_back(std::move(st).take());
+      body.push_back(RW_TRY(parse_stmt()));
     }
     lex_.take();
     return body;
@@ -265,18 +254,16 @@ class Parser {
       if (lex_.peek().kind != Tok::kNumber)
         return err("array size must be a literal");
       const std::int64_t size = lex_.take().number;
-      if (auto s = expect(Tok::kRBracket, "']'"); !s.ok()) return s.error();
-      if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+      RW_TRY_STATUS(expect(Tok::kRBracket, "']'"));
+      RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
       return make_array_decl(name, size);
     }
     ExprPtr init;
     if (lex_.peek().kind == Tok::kAssign) {
       lex_.take();
-      auto e = parse_expr();
-      if (!e.ok()) return e.error();
-      init = std::move(e).take();
+      init = RW_TRY(parse_expr());
     }
-    if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+    RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
     return pointer ? make_pointer_decl(name, std::move(init))
                    : make_decl(name, std::move(init));
   }
@@ -285,9 +272,7 @@ class Parser {
     switch (lex_.peek().kind) {
       case Tok::kInt: return parse_decl();
       case Tok::kLBrace: {
-        auto b = parse_block();
-        if (!b.ok()) return b.error();
-        return make_block(std::move(b).take());
+        return make_block(RW_TRY(parse_block()));
       }
       case Tok::kIf: return parse_if();
       case Tok::kFor: return parse_for();
@@ -295,18 +280,13 @@ class Parser {
       case Tok::kReturn: {
         lex_.take();
         ExprPtr e;
-        if (lex_.peek().kind != Tok::kSemi) {
-          auto r = parse_expr();
-          if (!r.ok()) return r.error();
-          e = std::move(r).take();
-        }
-        if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+        if (lex_.peek().kind != Tok::kSemi) e = RW_TRY(parse_expr());
+        RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
         return make_return(std::move(e));
       }
       default: {
-        auto st = parse_assign_or_expr();
-        if (!st.ok()) return st;
-        if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
+        StmtPtr st = RW_TRY(parse_assign_or_expr());
+        RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
         return st;
       }
     }
@@ -314,76 +294,60 @@ class Parser {
 
   /// assignment or bare expression (no trailing ';').
   Result<StmtPtr> parse_assign_or_expr() {
-    auto lhs = parse_expr();
-    if (!lhs.ok()) return lhs.error();
+    ExprPtr target = RW_TRY(parse_expr());
     if (lex_.peek().kind == Tok::kAssign) {
       lex_.take();
-      auto rhs = parse_expr();
-      if (!rhs.ok()) return rhs.error();
-      ExprPtr target = std::move(lhs).take();
+      ExprPtr rhs = RW_TRY(parse_expr());
       if (target->kind != ExprKind::kIdent &&
           target->kind != ExprKind::kIndex &&
           target->kind != ExprKind::kDeref)
         return err("invalid assignment target");
-      return make_assign(std::move(target), std::move(rhs).take());
+      return make_assign(std::move(target), std::move(rhs));
     }
-    return make_expr_stmt(std::move(lhs).take());
+    return make_expr_stmt(std::move(target));
   }
 
   Result<StmtPtr> parse_if() {
     lex_.take();
-    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
-    auto cond = parse_expr();
-    if (!cond.ok()) return cond.error();
-    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
-    auto then_body = parse_block();
-    if (!then_body.ok()) return then_body.error();
+    RW_TRY_STATUS(expect(Tok::kLParen, "'('"));
+    ExprPtr cond = RW_TRY(parse_expr());
+    RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
+    std::vector<StmtPtr> then_body = RW_TRY(parse_block());
     std::vector<StmtPtr> else_body;
     if (lex_.peek().kind == Tok::kElse) {
       lex_.take();
-      auto e = parse_block();
-      if (!e.ok()) return e.error();
-      else_body = std::move(e).take();
+      else_body = RW_TRY(parse_block());
     }
-    return make_if(std::move(cond).take(), std::move(then_body).take(),
+    return make_if(std::move(cond), std::move(then_body),
                    std::move(else_body));
   }
 
   Result<StmtPtr> parse_for() {
     lex_.take();
-    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
-    Result<StmtPtr> init = lex_.peek().kind == Tok::kInt
-                               ? parse_decl()  // consumes ';'
-                               : [&]() -> Result<StmtPtr> {
-                                   auto a = parse_assign_or_expr();
-                                   if (!a.ok()) return a;
-                                   if (auto s = expect(Tok::kSemi, "';'");
-                                       !s.ok())
-                                     return s.error();
-                                   return a;
-                                 }();
-    if (!init.ok()) return init;
-    auto cond = parse_expr();
-    if (!cond.ok()) return cond.error();
-    if (auto s = expect(Tok::kSemi, "';'"); !s.ok()) return s.error();
-    auto step = parse_assign_or_expr();
-    if (!step.ok()) return step;
-    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
-    auto body = parse_block();
-    if (!body.ok()) return body.error();
-    return make_for(std::move(init).take(), std::move(cond).take(),
-                    std::move(step).take(), std::move(body).take());
+    RW_TRY_STATUS(expect(Tok::kLParen, "'('"));
+    StmtPtr init = RW_TRY(lex_.peek().kind == Tok::kInt
+                              ? parse_decl()  // consumes ';'
+                              : [&]() -> Result<StmtPtr> {
+                                  StmtPtr a = RW_TRY(parse_assign_or_expr());
+                                  RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
+                                  return a;
+                                }());
+    ExprPtr cond = RW_TRY(parse_expr());
+    RW_TRY_STATUS(expect(Tok::kSemi, "';'"));
+    StmtPtr step = RW_TRY(parse_assign_or_expr());
+    RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
+    std::vector<StmtPtr> body = RW_TRY(parse_block());
+    return make_for(std::move(init), std::move(cond), std::move(step),
+                    std::move(body));
   }
 
   Result<StmtPtr> parse_while() {
     lex_.take();
-    if (auto s = expect(Tok::kLParen, "'('"); !s.ok()) return s.error();
-    auto cond = parse_expr();
-    if (!cond.ok()) return cond.error();
-    if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
-    auto body = parse_block();
-    if (!body.ok()) return body.error();
-    return make_while(std::move(cond).take(), std::move(body).take());
+    RW_TRY_STATUS(expect(Tok::kLParen, "'('"));
+    ExprPtr cond = RW_TRY(parse_expr());
+    RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
+    std::vector<StmtPtr> body = RW_TRY(parse_block());
+    return make_while(std::move(cond), std::move(body));
   }
 
   // Precedence-climbing expression parsing.
@@ -398,16 +362,13 @@ class Parser {
   }
 
   Result<ExprPtr> parse_expr(int min_prec = 1) {
-    auto lhs = parse_unary();
-    if (!lhs.ok()) return lhs;
-    ExprPtr e = std::move(lhs).take();
+    ExprPtr e = RW_TRY(parse_unary());
     while (lex_.peek().kind == Tok::kPunct) {
       const int prec = precedence(lex_.peek().text);
       if (prec < min_prec || prec == 0) break;
       const std::string op = lex_.take().text;
-      auto rhs = parse_expr(prec + 1);
-      if (!rhs.ok()) return rhs;
-      e = make_binary(op, std::move(e), std::move(rhs).take());
+      ExprPtr rhs = RW_TRY(parse_expr(prec + 1));
+      e = make_binary(op, std::move(e), std::move(rhs));
     }
     return e;
   }
@@ -415,35 +376,26 @@ class Parser {
   Result<ExprPtr> parse_unary() {
     if (is_punct("-") || is_punct("!")) {
       const std::string op = lex_.take().text;
-      auto operand = parse_unary();
-      if (!operand.ok()) return operand;
-      return make_unary(op, std::move(operand).take());
+      return make_unary(op, RW_TRY(parse_unary()));
     }
     if (is_punct("*")) {
       lex_.take();
-      auto operand = parse_unary();
-      if (!operand.ok()) return operand;
-      return make_deref(std::move(operand).take());
+      return make_deref(RW_TRY(parse_unary()));
     }
     if (is_punct("&")) {
       lex_.take();
-      auto operand = parse_unary();
-      if (!operand.ok()) return operand;
-      return make_addrof(std::move(operand).take());
+      return make_addrof(RW_TRY(parse_unary()));
     }
     return parse_postfix();
   }
 
   Result<ExprPtr> parse_postfix() {
-    auto prim = parse_primary();
-    if (!prim.ok()) return prim;
-    ExprPtr e = std::move(prim).take();
+    ExprPtr e = RW_TRY(parse_primary());
     while (lex_.peek().kind == Tok::kLBracket) {
       lex_.take();
-      auto idx = parse_expr();
-      if (!idx.ok()) return idx;
-      if (auto s = expect(Tok::kRBracket, "']'"); !s.ok()) return s.error();
-      e = make_index(std::move(e), std::move(idx).take());
+      ExprPtr idx = RW_TRY(parse_expr());
+      RW_TRY_STATUS(expect(Tok::kRBracket, "']'"));
+      e = make_index(std::move(e), std::move(idx));
     }
     return e;
   }
@@ -461,23 +413,20 @@ class Parser {
         std::vector<ExprPtr> args;
         if (lex_.peek().kind != Tok::kRParen) {
           for (;;) {
-            auto a = parse_expr();
-            if (!a.ok()) return a;
-            args.push_back(std::move(a).take());
+            args.push_back(RW_TRY(parse_expr()));
             if (lex_.peek().kind != Tok::kComma) break;
             lex_.take();
           }
         }
-        if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+        RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
         return make_call(t.text, std::move(args));
       }
       return make_ident(t.text);
     }
     if (t.kind == Tok::kLParen) {
       lex_.take();
-      auto e = parse_expr();
-      if (!e.ok()) return e;
-      if (auto s = expect(Tok::kRParen, "')'"); !s.ok()) return s.error();
+      ExprPtr e = RW_TRY(parse_expr());
+      RW_TRY_STATUS(expect(Tok::kRParen, "')'"));
       return e;
     }
     return err("expected expression");

@@ -24,9 +24,16 @@ double GangResult::mean_response_us() const {
 }
 
 double GangResult::throughput_apps_per_ms() const {
-  if (makespan == 0) return 0.0;
+  if (metrics.makespan == 0) return 0.0;
   return static_cast<double>(apps.size()) /
-         (static_cast<double>(makespan) / 1e9);
+         (static_cast<double>(metrics.makespan) / 1e9);
+}
+
+RunMetrics GangResult::to_metrics() const {
+  RunMetrics m = metrics;
+  m.set_extra("arbitration_wait_ps", static_cast<double>(arbitration_wait));
+  m.set_extra("operations", static_cast<double>(operations));
+  return m;
 }
 
 GangResult run_gang_schedule(const GangConfig& cfg,
@@ -106,12 +113,23 @@ GangResult run_gang_schedule(const GangConfig& cfg,
       // release operation completes.
       const TimePs released = arbitrate(ev.idx, ev.time);
       free_cores += res.apps[ev.idx].cores;
-      res.makespan = std::max(res.makespan, ev.time);
+      res.metrics.makespan = std::max(res.metrics.makespan, ev.time);
       try_allocate(released);
     } else {
       pending.push_back(ev.idx);
       try_allocate(ev.time);
     }
+  }
+
+  // Pool utilization: granted core-time over pool capacity for the run.
+  if (res.metrics.makespan > 0) {
+    double busy = 0;
+    for (const auto& a : res.apps)
+      busy += static_cast<double>(a.cores) *
+              static_cast<double>(a.finish - a.start);
+    res.metrics.mean_core_utilization =
+        busy / (static_cast<double>(cfg.total_cores) *
+                static_cast<double>(res.metrics.makespan));
   }
   return res;
 }

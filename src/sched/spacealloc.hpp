@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/run_metrics.hpp"
 #include "common/units.hpp"
 #include "sched/task.hpp"
 
@@ -37,12 +38,18 @@ struct GangResult {
     std::size_t cores = 0;  // gang size granted
   };
   std::vector<PerApp> apps;
-  TimePs makespan = 0;
+  /// Shared run-metrics shape (makespan, pool utilization); the gang
+  /// counters below ride along as named extras when exported.
+  RunMetrics metrics;
   DurationPs arbitration_wait = 0;  // total time requests waited on arbiters
   std::uint64_t operations = 0;     // allocate + release operations
 
+  [[nodiscard]] TimePs makespan() const { return metrics.makespan; }
   [[nodiscard]] double mean_response_us() const;
   [[nodiscard]] double throughput_apps_per_ms() const;
+
+  /// The metrics plus gang extras, ready for harness export.
+  [[nodiscard]] RunMetrics to_metrics() const;
 };
 
 struct GangConfig {

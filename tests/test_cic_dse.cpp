@@ -67,9 +67,9 @@ TEST(Dse, ExploresAndMarksPareto) {
     for (const auto& q : points) {
       if (!q.feasible || &q == &p) continue;
       const bool dominates = q.area_cost <= p.area_cost &&
-                             q.makespan <= p.makespan &&
+                             q.makespan() <= p.makespan() &&
                              (q.area_cost < p.area_cost ||
-                              q.makespan < p.makespan);
+                              q.makespan() < p.makespan());
       EXPECT_FALSE(dominates)
           << q.arch.name << " dominates " << p.arch.name;
     }
@@ -83,8 +83,8 @@ TEST(Dse, MoreCoresNeverHurtMakespanWithinStyle) {
   const auto points = explore_architectures(prog, smps, {20, false});
   for (std::size_t i = 1; i < points.size(); ++i) {
     ASSERT_TRUE(points[i].feasible);
-    EXPECT_LE(points[i].makespan,
-              points[i - 1].makespan + points[i - 1].makespan / 20);
+    EXPECT_LE(points[i].makespan(),
+              points[i - 1].makespan() + points[i - 1].makespan() / 20);
   }
 }
 

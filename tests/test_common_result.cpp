@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.hpp"
+
+namespace rw {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error("not positive", 3, 7);
+  return v;
+}
+
+TEST(Result, MapTransformsValueAndPropagatesError) {
+  const auto doubled = parse_positive(21).map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.value(), 42);
+
+  const auto failed = parse_positive(-1).map([](int v) { return v * 2; });
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().message, "not positive");
+  EXPECT_EQ(failed.error().line, 3);
+}
+
+TEST(Result, MapCanChangeType) {
+  const auto text = parse_positive(5).map(
+      [](int v) { return std::to_string(v) + "!"; });
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "5!");
+}
+
+TEST(Result, AndThenChainsFallibleSteps) {
+  const auto ok = parse_positive(4).and_then(
+      [](int v) { return parse_positive(v - 3); });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 1);
+
+  // Second step fails; its error surfaces.
+  const auto second_fails = parse_positive(4).and_then(
+      [](int v) { return parse_positive(v - 10); });
+  ASSERT_FALSE(second_fails.ok());
+
+  // First step fails; lambda must not run.
+  bool ran = false;
+  const auto first_fails = parse_positive(-2).and_then(
+      [&ran](int v) {
+        ran = true;
+        return parse_positive(v);
+      });
+  EXPECT_FALSE(first_fails.ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(Result, ErrorOr) {
+  EXPECT_EQ(parse_positive(1).error_or(make_error("fallback")).message,
+            "fallback");
+  EXPECT_EQ(parse_positive(0).error_or(make_error("fallback")).message,
+            "not positive");
+
+  Status good;
+  EXPECT_EQ(good.error_or(make_error("fb")).message, "fb");
+  Status bad{make_error("broken")};
+  EXPECT_EQ(bad.error_or(make_error("fb")).message, "broken");
+}
+
+Result<int> try_sum(int a, int b) {
+  const int av = RW_TRY(parse_positive(a));
+  const int bv = RW_TRY(parse_positive(b));
+  return av + bv;
+}
+
+Status try_check(int v) {
+  RW_TRY_STATUS(parse_positive(v));
+  return Status::ok_status();
+}
+
+TEST(Result, RwTryUnwrapsOrEarlyReturns) {
+  const auto ok = try_sum(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  const auto fail = try_sum(2, -3);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.error().message, "not positive");
+
+  EXPECT_TRUE(try_check(1).ok());
+  EXPECT_FALSE(try_check(-1).ok());
+  EXPECT_EQ(try_check(-1).error().column, 7);
+}
+
+}  // namespace
+}  // namespace rw

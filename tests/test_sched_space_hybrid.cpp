@@ -57,7 +57,7 @@ TEST(Gang, MoreCoresShortenMakespanNearLinearly) {
       reqs.push_back({make_app("a" + std::to_string(i), 8'000'000, 0.0,
                                1, 1),
                       0});
-    return run_gang_schedule(cfg, std::move(reqs)).makespan;
+    return run_gang_schedule(cfg, std::move(reqs)).makespan();
   };
   const auto m1 = run_with(1);
   const auto m4 = run_with(4);
@@ -83,7 +83,7 @@ TEST(Gang, CentralizedArbiterCausesWaiting) {
   const auto rc = run_gang_schedule(central, reqs);
   const auto rd = run_gang_schedule(dist, reqs);
   EXPECT_GT(rc.arbitration_wait, rd.arbitration_wait);
-  EXPECT_GT(rc.makespan, rd.makespan);
+  EXPECT_GT(rc.makespan(), rd.makespan());
 }
 
 TEST(Gang, SerialBoostHelpsAmdahlLimitedApps) {
@@ -114,6 +114,11 @@ TEST(Gang, ThroughputAndResponseMetrics) {
   EXPECT_GT(r.mean_response_us(), 0.0);
   EXPECT_GT(r.throughput_apps_per_ms(), 0.0);
   EXPECT_EQ(r.operations, 4u);  // 2 allocs + 2 releases
+  EXPECT_GT(r.metrics.mean_core_utilization, 0.0);
+  EXPECT_LE(r.metrics.mean_core_utilization, 1.0 + 1e-9);
+  const RunMetrics m = r.to_metrics();
+  EXPECT_EQ(m.extra_or("operations"), 4.0);
+  EXPECT_EQ(m.makespan, r.makespan());
 }
 
 // ------------------------------------------------------------------ dvfs
