@@ -1,0 +1,161 @@
+// Experiment E11 — lint pass scaling.
+//
+// ISSUE 2's framework claim is only useful if the static passes stay
+// design-time cheap while the programs grow: the paper's pitch for
+// abstract models (Secs. III/IV/VI) is precisely that analyses run on
+// them instead of on RTL-speed simulation. This bench synthesizes mapped
+// programs, mini-C functions and dataflow chains at increasing sizes,
+// runs the full default pass set on each, and reports per-pass wall time
+// plus finding counts. Expected shape: race/deadlock grow with the
+// transitive closure (cubic in tasks, still ms at hundreds of tasks);
+// uninit and buffer-bounds stay near-linear.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "dataflow/graph.hpp"
+#include "harness/harness.hpp"
+#include "lint/pass.hpp"
+#include "maps/ir.hpp"
+#include "maps/taskgraph.hpp"
+#include "recoder/parser.hpp"
+
+namespace {
+
+using namespace rw;
+
+/// A mapped program with `n` single-statement tasks chained by channels,
+/// round-robin on 4 PEs, with every 16th channel missing so a sprinkle of
+/// genuinely unordered shared accesses survives for the race pass.
+struct MappedModel {
+  maps::SeqProgram seq;
+  maps::TaskGraph tasks;
+  std::vector<std::size_t> stmt_to_task;
+  std::vector<std::size_t> task_to_pe;
+};
+
+MappedModel make_mapped(std::size_t n) {
+  MappedModel m;
+  const std::size_t nvars = std::max<std::size_t>(4, n / 8);
+  std::vector<maps::VarId> vars;
+  for (std::size_t v = 0; v < nvars; ++v)
+    vars.push_back(m.seq.add_var(strformat("v%zu", v)));
+  std::vector<maps::TaskNodeId> tids;
+  for (std::size_t i = 0; i < n; ++i) {
+    m.seq.add_stmt(strformat("s%zu", i), 100,
+                   {vars[(i + nvars - 1) % nvars]}, {vars[i % nvars]});
+    tids.push_back(m.tasks.add_task(strformat("t%zu", i), 100));
+    m.stmt_to_task.push_back(i);
+    m.task_to_pe.push_back(i % 4);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    if (i % 16 != 15) m.tasks.add_edge(tids[i], tids[i + 1], 4);
+  return m;
+}
+
+/// A straight-line mini-C function with `n` statements, one dead store
+/// and one never-assigned read per 32 statements.
+recoder::Program make_ast(std::size_t n) {
+  std::string src = "int main() {\n  int a0 = 0;\n";
+  for (std::size_t i = 1; i < n; ++i) {
+    if (i % 32 == 7) {
+      src += strformat("  int d%zu = 1;\n  d%zu = 2;\n", i, i);
+    } else if (i % 32 == 19) {
+      src += strformat("  int u%zu;\n  a0 = a0 + u%zu;\n", i, i);
+    } else {
+      src += strformat("  int a%zu = a%zu + 1;\n", i, i - 1);
+    }
+  }
+  src += "  return a0;\n}\n";
+  auto p = recoder::parse_program(src);
+  if (!p.ok()) throw std::runtime_error(p.error().to_string());
+  return std::move(p).take();
+}
+
+/// An SDF chain of `n` actors for the buffer-bounds pass.
+dataflow::Graph make_chain(std::size_t n) {
+  dataflow::Graph g;
+  std::vector<dataflow::ActorId> actors;
+  for (std::size_t i = 0; i < n; ++i)
+    actors.push_back(g.add_actor(strformat("a%zu", i), 100));
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.connect(actors[i], actors[i + 1], 1, 1);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t sizes[] = {16, 64, 256, 512};
+
+  // Keep the generated models alive across the (parallel) runs: Target
+  // views are non-owning.
+  std::vector<MappedModel> mapped;
+  std::vector<recoder::Program> asts;
+  std::vector<dataflow::Graph> chains;
+  for (const std::size_t n : sizes) {
+    mapped.push_back(make_mapped(n));
+    asts.push_back(make_ast(n));
+    // Depth-capped: past ~256 stages the pipeline-fill latency exceeds
+    // the default sink period and the executor-backed sizing legitimately
+    // burns its whole round budget declaring the period unsustainable —
+    // a different experiment than the scaling curve this bench plots.
+    chains.push_back(make_chain(std::min<std::size_t>(n, 256)));
+  }
+
+  harness::Scenario scenario("e11_lint_scaling");
+  for (std::size_t si = 0; si < std::size(sizes); ++si) {
+    scenario.add_run(
+        strformat("n%zu", sizes[si]),
+        [&, si](const harness::RunContext&) {
+          lint::Target t;
+          t.name = strformat("synthetic_%zu", sizes[si]);
+          t.program = &asts[si];
+          t.seq = &mapped[si].seq;
+          t.task_graph = &mapped[si].tasks;
+          t.stmt_to_task = mapped[si].stmt_to_task;
+          t.task_to_pe = mapped[si].task_to_pe;
+          t.dataflow = &chains[si];
+
+          const auto result =
+              lint::PassManager::with_default_passes().run(t);
+          RunMetrics out;
+          std::uint64_t total_ns = 0;
+          for (const auto& s : result.stats) {
+            if (!s.ran) continue;
+            total_ns += s.wall_ns;
+            out.set_extra(s.pass + "_ms",
+                          static_cast<double>(s.wall_ns) / 1e6);
+            out.set_extra(s.pass + "_findings",
+                          static_cast<double>(s.findings));
+          }
+          out.set_extra("diagnostics",
+                        static_cast<double>(result.diagnostics.size()));
+          out.wall_ns = total_ns;
+          return out;
+        });
+  }
+  const auto result = harness::Runner().run(scenario);
+
+  std::printf("E11: lint pass wall-time vs program size\n");
+  Table t({"tasks/stmts/actors", "race ms", "deadlock ms", "uninit ms",
+           "buffers ms", "findings"});
+  for (std::size_t si = 0; si < std::size(sizes); ++si) {
+    const auto* r = result.find(strformat("n%zu", sizes[si]));
+    t.add_row({Table::num(static_cast<std::uint64_t>(sizes[si])),
+               Table::num(r->metrics.extra_or("static-race_ms"), 3),
+               Table::num(r->metrics.extra_or("static-deadlock_ms"), 3),
+               Table::num(r->metrics.extra_or("uninit-dataflow_ms"), 3),
+               Table::num(r->metrics.extra_or("buffer-bounds_ms"), 3),
+               Table::num(r->metrics.extra_or("diagnostics"), 0)});
+  }
+  t.print("per-pass wall time (host), finding count");
+  if (const auto s = harness::write_json("BENCH_lint.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
+  std::printf("expected shape: race/deadlock dominated by the O(n^3) "
+              "order-graph closure yet\nstill interactive at n=512; uninit "
+              "and buffer-bounds near-linear; finding count\ngrows with "
+              "the seeded defect density, not with noise.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "lint/driver.hpp"
+
+#include <fstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace rw::lint {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Result<DriverOptions> parse_driver_args(
+    const std::vector<std::string>& args) {
+  DriverOptions opts;
+  for (const auto& a : args) {
+    if (a == "--list") {
+      opts.list = true;
+    } else if (a == "--json") {
+      opts.json_stdout = true;
+    } else if (a == "--no-files") {
+      opts.write_files = false;
+    } else if (a.rfind("--passes=", 0) == 0) {
+      for (auto& p : split_csv(a.substr(9))) opts.passes.insert(p);
+    } else if (a.rfind("--out=", 0) == 0) {
+      opts.out_dir = a.substr(6);
+      if (opts.out_dir.empty()) opts.out_dir = ".";
+    } else if (a == "--help" || a == "-h") {
+      return make_error(
+          "usage: rwlint [--list] [--json] [--no-files] [--passes=a,b]"
+          " [--out=DIR] [program...]");
+    } else if (!a.empty() && a[0] == '-') {
+      return make_error("unknown option: " + a);
+    } else {
+      opts.programs.push_back(a);
+    }
+  }
+  return opts;
+}
+
+std::string driver_json(const std::vector<ProgramOutcome>& outcomes) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("rw-lint-run-1");
+  std::size_t errors = 0;
+  for (const auto& o : outcomes) errors += o.result.errors();
+  w.key("errors").value(static_cast<std::uint64_t>(errors));
+  w.key("programs").begin_array();
+  for (const auto& o : outcomes)
+    diagnostics_to_json(w, o.program, o.result.diagnostics);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+DriverReport run_driver(const DriverOptions& opts, std::ostream& out) {
+  DriverReport report;
+  const auto corpus = build_corpus();
+
+  if (opts.list) {
+    Table t({"program", "runnable", "expected", "summary"});
+    for (const auto& p : corpus) {
+      std::string kinds;
+      for (const auto& k : p.expected_kinds) {
+        if (!kinds.empty()) kinds += ",";
+        kinds += k;
+      }
+      if (kinds.empty()) kinds = "-";
+      t.add_row({p.name, p.runnable() ? "yes" : "no", kinds, p.summary});
+    }
+    out << t.to_string();
+    return report;
+  }
+
+  // Resolve the program selection against the corpus.
+  std::vector<const CorpusProgram*> selected;
+  if (opts.programs.empty()) {
+    for (const auto& p : corpus) selected.push_back(&p);
+  } else {
+    for (const auto& name : opts.programs) {
+      const CorpusProgram* found = nullptr;
+      for (const auto& p : corpus)
+        if (p.name == name) found = &p;
+      if (found == nullptr) {
+        out << "rwlint: unknown program: " << name << "\n";
+        report.exit_code = 2;
+        return report;
+      }
+      selected.push_back(found);
+    }
+  }
+
+  PassManager pm = PassManager::with_default_passes();
+  if (!opts.passes.empty()) {
+    for (const auto& name : opts.passes) {
+      if (pm.find(name) == nullptr) {
+        out << "rwlint: unknown pass: " << name << "\n";
+        report.exit_code = 2;
+        return report;
+      }
+    }
+    pm.enable_only(opts.passes);
+  }
+
+  for (const CorpusProgram* p : selected) {
+    ProgramOutcome outcome;
+    outcome.program = p->name;
+    outcome.result = pm.run(p->target());
+
+    if (opts.write_files) {
+      outcome.json_path = opts.out_dir + "/LINT_" + p->name + ".json";
+      std::ofstream f(outcome.json_path);
+      f << outcome.result.to_json() << "\n";
+    }
+
+    if (!opts.json_stdout) {
+      Table t({"severity", "pass", "kind", "entity", "message"});
+      for (const auto& d : outcome.result.diagnostics)
+        t.add_row({severity_name(d.severity), d.pass, d.kind,
+                   d.location.entity, d.message});
+      out << "== " << p->name << " ==\n";
+      if (t.row_count() > 0) out << t.to_string();
+      out << strformat("%zu error(s), %zu warning(s)",
+                       outcome.result.errors(), outcome.result.warnings());
+      std::string ran;
+      for (const auto& s : outcome.result.stats)
+        if (s.ran) ran += (ran.empty() ? "" : ",") + s.pass;
+      out << "  [passes: " << (ran.empty() ? "none" : ran) << "]\n";
+      if (!outcome.json_path.empty())
+        out << "wrote " << outcome.json_path << "\n";
+      out << "\n";
+    }
+
+    if (outcome.result.errors() > 0) report.exit_code = 1;
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  if (opts.json_stdout) out << driver_json(report.outcomes) << "\n";
+  return report;
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,31 @@
+#include "lint/order_graph.hpp"
+
+namespace rw::lint {
+
+std::vector<std::vector<std::size_t>> order_edges(const Target& t) {
+  const std::size_t n = t.task_graph->tasks().size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& e : t.task_graph->edges())
+    adj[e.src.index()].push_back(e.dst.index());
+  for (const auto& order : t.pe_orders())
+    for (std::size_t i = 1; i < order.size(); ++i)
+      adj[order[i - 1]].push_back(order[i]);
+  return adj;
+}
+
+std::vector<std::vector<bool>> order_reachability(const Target& t) {
+  const auto adj = order_edges(t);
+  const std::size_t n = adj.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (std::size_t i = 0; i < n; ++i)
+    for (const std::size_t j : adj[i]) reach[i][j] = true;
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (std::size_t j = 0; j < n; ++j)
+        if (reach[k][j]) reach[i][j] = true;
+    }
+  return reach;
+}
+
+}  // namespace rw::lint

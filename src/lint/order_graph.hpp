@@ -1,0 +1,26 @@
+// The blocking-communication order graph of a mapped task graph.
+//
+// Node = task. Edge A -> B when B cannot start before A completes: either
+// a synchronizing channel edge A -> B (B blocks on A's data) or A running
+// immediately before B in the run-to-completion order of a shared PE.
+// Race detection asks "is there any path between these two tasks?";
+// deadlock detection asks "is any task on a cycle, or downstream of one?".
+// Both are answered from the same transitive closure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/pass.hpp"
+
+namespace rw::lint {
+
+/// Direct edges of the order graph, as adjacency lists (deterministic:
+/// channel edges in declaration order, then PE-order edges).
+std::vector<std::vector<std::size_t>> order_edges(const Target& t);
+
+/// Transitive closure: reach[i][j] == true when a nonempty path i -> j
+/// exists. reach[i][i] == true exactly when i lies on a cycle.
+std::vector<std::vector<bool>> order_reachability(const Target& t);
+
+}  // namespace rw::lint

@@ -1,0 +1,74 @@
+#include "lint/pass.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "lint/passes.hpp"
+
+namespace rw::lint {
+
+std::vector<std::vector<std::size_t>> Target::pe_orders() const {
+  if (!core_order.empty()) return core_order;
+  std::vector<std::vector<std::size_t>> orders;
+  if (task_graph == nullptr) return orders;
+  const std::size_t n = task_graph->tasks().size();
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::size_t pe = pe_of(t);
+    if (pe >= orders.size()) orders.resize(pe + 1);
+    orders[pe].push_back(t);
+  }
+  return orders;
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager PassManager::with_default_passes() {
+  PassManager pm;
+  pm.add(make_race_pass());
+  pm.add(make_deadlock_pass());
+  pm.add(make_uninit_pass());
+  pm.add(make_buffer_pass());
+  pm.add(make_shared_access_pass());
+  return pm;
+}
+
+void PassManager::enable_only(const std::set<std::string>& names) {
+  if (names.empty()) return;
+  std::erase_if(passes_, [&](const std::unique_ptr<Pass>& p) {
+    return names.count(std::string(p->name())) == 0;
+  });
+}
+
+const Pass* PassManager::find(std::string_view name) const {
+  for (const auto& p : passes_)
+    if (p->name() == name) return p.get();
+  return nullptr;
+}
+
+LintResult PassManager::run(const Target& t) const {
+  LintResult res;
+  res.target = t.name;
+  for (const auto& p : passes_) {
+    PassStats st;
+    st.pass = std::string(p->name());
+    if (p->applicable(t)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t before = res.diagnostics.size();
+      p->run(t, res.diagnostics);
+      st.ran = true;
+      st.findings = res.diagnostics.size() - before;
+      st.wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    res.stats.push_back(std::move(st));
+  }
+  sort_diagnostics(res.diagnostics);
+  return res;
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,135 @@
+// Static-analysis pass framework.
+//
+// A Pass runs one analysis over a Target — a bundle of the three program
+// representations this repo owns: the recoder's mini-C AST (Sec. VI), the
+// MAPS sequential program + partition/mapping (Sec. IV), and the (C)SDF
+// dataflow graph (Sec. III). A Target rarely has all three; passes declare
+// applicability and the PassManager runs whatever fits, collecting
+// Diagnostics in a deterministic order. This is the multiplier ROADMAP
+// asks for: new analyses drop in as passes and every subsystem's findings
+// come out in one machine-readable format.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+#include "lint/diagnostic.hpp"
+#include "maps/ir.hpp"
+#include "maps/taskgraph.hpp"
+#include "recoder/ast.hpp"
+
+namespace rw::lint {
+
+/// Everything a pass may look at. Non-owning: the caller (corpus, tests,
+/// the rwlint driver) keeps the underlying models alive. Views are
+/// optional; Pass::applicable() gates on what is present.
+struct Target {
+  std::string name;
+
+  // ---- recoder view (mini-C AST) ----
+  const recoder::Program* program = nullptr;
+
+  // ---- MAPS view: sequential statements + partition + mapping ----
+  // `task_graph` nodes are the partitions; edges are synchronizing
+  // channels (the consumer blocks until the producer's data arrives).
+  const maps::SeqProgram* seq = nullptr;
+  const maps::TaskGraph* task_graph = nullptr;
+  /// Statement index -> task index (the partition). Empty when no seq.
+  std::vector<std::size_t> stmt_to_task;
+  /// Task index -> processing element. Empty = every task on its own PE.
+  std::vector<std::size_t> task_to_pe;
+  /// Per-PE static execution order of the tasks mapped there (run-to-
+  /// completion). Empty = derived: tasks on one PE run in index order.
+  std::vector<std::vector<std::size_t>> core_order;
+  /// Shared variables protected by a hardware semaphore around every
+  /// access (the designer's annotation the recoder would surface).
+  std::set<std::string> locked_vars;
+
+  // ---- dataflow view ----
+  const dataflow::Graph* dataflow = nullptr;
+  /// Drive configuration for executor-backed analyses (buffer bounds).
+  dataflow::ExecConfig dataflow_cfg;
+
+  [[nodiscard]] bool has_mapped() const {
+    return seq != nullptr && task_graph != nullptr &&
+           stmt_to_task.size() == seq->stmts().size();
+  }
+
+  /// PE of a task under the mapping (identity when unmapped).
+  [[nodiscard]] std::size_t pe_of(std::size_t task) const {
+    return task < task_to_pe.size() ? task_to_pe[task] : task;
+  }
+
+  /// Execution order on each PE: `core_order` when given, else tasks in
+  /// index order. Only meaningful with has_mapped().
+  [[nodiscard]] std::vector<std::vector<std::size_t>> pe_orders() const;
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  /// Does the target carry the representation this pass analyzes?
+  [[nodiscard]] virtual bool applicable(const Target& t) const = 0;
+  /// Append findings. Must be deterministic in the target alone.
+  virtual void run(const Target& t, std::vector<Diagnostic>& out) const = 0;
+};
+
+/// Per-pass execution record.
+struct PassStats {
+  std::string pass;
+  bool ran = false;  // false = not applicable to the target
+  std::size_t findings = 0;
+  std::uint64_t wall_ns = 0;  // host timing; excluded from JSON output
+};
+
+struct LintResult {
+  std::string target;
+  std::vector<Diagnostic> diagnostics;  // sorted by diagnostic_less
+  std::vector<PassStats> stats;         // in pass registration order
+
+  [[nodiscard]] std::size_t errors() const {
+    return count_severity(diagnostics, Severity::kError);
+  }
+  [[nodiscard]] std::size_t warnings() const {
+    return count_severity(diagnostics, Severity::kWarning);
+  }
+  [[nodiscard]] bool clean() const { return errors() == 0; }
+
+  /// The documented deterministic JSON document (rw-lint-1).
+  [[nodiscard]] std::string to_json() const {
+    return diagnostics_to_json(target, diagnostics);
+  }
+};
+
+/// Owns an ordered set of passes and runs the applicable ones.
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// All four shipped passes, in their canonical order.
+  static PassManager with_default_passes();
+
+  /// Restrict to a comma-separated subset by name; unknown names are
+  /// ignored (the driver reports them). Empty = keep all.
+  void enable_only(const std::set<std::string>& names);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Pass>>& passes() const {
+    return passes_;
+  }
+  [[nodiscard]] const Pass* find(std::string_view name) const;
+
+  [[nodiscard]] LintResult run(const Target& t) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace rw::lint

@@ -1,0 +1,103 @@
+// Static deadlock / lock-order analysis.
+//
+// Sec. VII lists "system deadlocks" first among the failure modes a
+// virtual platform must expose; finding them *before* simulation is the
+// lint's job. Two representations, one pass:
+//
+//   * Mapped task graphs: a cycle in the blocking-communication order
+//     graph (channel waits + run-to-completion order on shared PEs) can
+//     never make progress — that covers classic wait cycles AND the
+//     subtler mapping-induced inversion where an acyclic graph deadlocks
+//     because a consumer is scheduled before its producer on one PE.
+//     Tasks downstream of a cycle starve too and are reported, which is
+//     what makes the static set a superset of any dynamic observation.
+//
+//   * CSDF graphs: dataflow::detect_deadlock's token-aware abstract
+//     execution, rewrapped so the findings speak Diagnostic.
+#include "common/strings.hpp"
+#include "dataflow/deadlock.hpp"
+#include "lint/adapters.hpp"
+#include "lint/order_graph.hpp"
+#include "lint/passes.hpp"
+
+namespace rw::lint {
+namespace {
+
+class DeadlockPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "static-deadlock";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "cycles in the blocking-communication order graph; CSDF "
+           "token-starvation";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.task_graph != nullptr || t.dataflow != nullptr;
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    if (t.task_graph != nullptr) run_task_graph(t, out);
+    if (t.dataflow != nullptr) run_dataflow(t, out);
+  }
+
+ private:
+  static void run_task_graph(const Target& t,
+                             std::vector<Diagnostic>& out) {
+    const auto reach = order_reachability(t);
+    const std::size_t n = reach.size();
+
+    std::vector<bool> on_cycle(n, false);
+    for (std::size_t i = 0; i < n; ++i) on_cycle[i] = reach[i][i];
+
+    std::string cycle_members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!on_cycle[i]) continue;
+      if (!cycle_members.empty()) cycle_members += ",";
+      cycle_members += t.task_graph->tasks()[i].name;
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool starved = [&] {
+        if (on_cycle[i]) return true;
+        for (std::size_t c = 0; c < n; ++c)
+          if (on_cycle[c] && reach[c][i]) return true;
+        return false;
+      }();
+      if (!starved) continue;
+      const auto& task = t.task_graph->tasks()[i];
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.subsystem = "maps";
+      d.pass = "static-deadlock";
+      d.kind = "deadlock";
+      d.location = {t.name, task.name};
+      d.message =
+          on_cycle[i]
+              ? strformat("task '%s' is on a blocking-communication "
+                          "cycle and can never start",
+                          task.name.c_str())
+              : strformat("task '%s' waits (transitively) on a deadlocked "
+                          "cycle and starves",
+                          task.name.c_str());
+      d.with_evidence("cycle", cycle_members)
+          .with_evidence("role", on_cycle[i] ? "cycle-member" : "starved")
+          .with_evidence("pe", strformat("%zu", t.pe_of(i)));
+      out.push_back(std::move(d));
+    }
+  }
+
+  static void run_dataflow(const Target& t, std::vector<Diagnostic>& out) {
+    auto diags = from_deadlock_report(dataflow::detect_deadlock(*t.dataflow),
+                                      t.name, "static-deadlock");
+    for (auto& d : diags) out.push_back(std::move(d));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_deadlock_pass() {
+  return std::make_unique<DeadlockPass>();
+}
+
+}  // namespace rw::lint

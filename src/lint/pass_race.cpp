@@ -1,0 +1,120 @@
+// Static race detection on a MAPS partition/mapping.
+//
+// Dynamic detection (vpdebug::RaceDetector) flags conflicting accesses it
+// happens to observe close together in one run. The static twin is the
+// conservative closure: a shared variable written by one partition and
+// accessed by another is a race whenever no ordering path — synchronizing
+// channel edges plus run-to-completion order on a shared PE — connects
+// the two partitions. Everything the detector can observe dynamically is
+// in this set (the conservative-superset contract the cross-check test
+// holds us to); the designer prunes false alarms, exactly the "concur,
+// augment or overrule" loop of Sec. VI.
+#include <algorithm>
+#include <map>
+
+#include "common/strings.hpp"
+#include "lint/order_graph.hpp"
+#include "lint/passes.hpp"
+
+namespace rw::lint {
+namespace {
+
+struct TaskAccess {
+  bool reads = false;
+  bool writes = false;
+  std::string first_stmt;  // representative statement, for evidence
+};
+
+class RacePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "static-race";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "unordered conflicting shared-variable accesses across "
+           "partitions";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.has_mapped();
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    const auto reach = order_reachability(t);
+
+    // Per variable: which tasks read / write it.
+    // map keeps variable iteration order deterministic by VarId.
+    std::map<std::size_t, std::map<std::size_t, TaskAccess>> access;
+    const auto& stmts = t.seq->stmts();
+    for (std::size_t s = 0; s < stmts.size(); ++s) {
+      const std::size_t task = t.stmt_to_task[s];
+      for (const auto v : stmts[s].reads) {
+        auto& a = access[v.index()][task];
+        a.reads = true;
+        if (a.first_stmt.empty()) a.first_stmt = stmts[s].name;
+      }
+      for (const auto v : stmts[s].writes) {
+        auto& a = access[v.index()][task];
+        a.writes = true;
+        if (a.first_stmt.empty()) a.first_stmt = stmts[s].name;
+      }
+    }
+
+    for (const auto& [var_idx, by_task] : access) {
+      const auto& var = t.seq->vars()[var_idx];
+      if (by_task.size() < 2) continue;
+      if (t.locked_vars.count(var.name)) {
+        Diagnostic d;
+        d.severity = Severity::kNote;
+        d.subsystem = "maps";
+        d.pass = std::string(name());
+        d.kind = "lock-protected";
+        d.location = {t.name, var.name};
+        d.message = strformat(
+            "shared variable '%s' accessed by %zu partitions under a "
+            "hardware semaphore",
+            var.name.c_str(), by_task.size());
+        out.push_back(std::move(d));
+        continue;
+      }
+      for (auto ia = by_task.begin(); ia != by_task.end(); ++ia) {
+        for (auto ib = std::next(ia); ib != by_task.end(); ++ib) {
+          const auto& [ta, aa] = *ia;
+          const auto& [tb, ab] = *ib;
+          const bool conflict =
+              (aa.writes && (ab.reads || ab.writes)) ||
+              (ab.writes && (aa.reads || aa.writes));
+          if (!conflict) continue;
+          if (reach[ta][tb] || reach[tb][ta]) continue;  // ordered: safe
+          Diagnostic d;
+          d.severity = Severity::kError;
+          d.subsystem = "maps";
+          d.pass = std::string(name());
+          d.kind = "race";
+          d.location = {t.name, var.name};
+          d.message = strformat(
+              "shared variable '%s': %s by task '%s' and %s by task '%s' "
+              "with no synchronizing path between them",
+              var.name.c_str(), aa.writes ? "written" : "read",
+              t.task_graph->tasks()[ta].name.c_str(),
+              ab.writes ? "written" : "read",
+              t.task_graph->tasks()[tb].name.c_str());
+          d.with_evidence("task_a", t.task_graph->tasks()[ta].name)
+              .with_evidence("task_b", t.task_graph->tasks()[tb].name)
+              .with_evidence("access_a", aa.writes ? "write" : "read")
+              .with_evidence("access_b", ab.writes ? "write" : "read")
+              .with_evidence("stmt_a", aa.first_stmt)
+              .with_evidence("stmt_b", ab.first_stmt);
+          out.push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_race_pass() {
+  return std::make_unique<RacePass>();
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,42 @@
+// Shared-data access report as a pass (Sec. VI's middle step).
+//
+// recoder::analyze_shared_accesses already classifies every global array
+// a function touches (splittable / channelizable / keep-shared / not
+// analyzable); this pass runs it over every function and re-emits the
+// verdicts through the adapter so the recoder speaks Diagnostic like
+// everyone else. keep-shared verdicts surface as warnings: they are the
+// arrays that need real synchronization before partitioning.
+#include "lint/adapters.hpp"
+#include "lint/passes.hpp"
+
+namespace rw::lint {
+namespace {
+
+class SharedAccessPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "shared-access";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "recoder shared-array access classification per function";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.program != nullptr && !t.program->functions.empty();
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    for (const auto& f : t.program->functions) {
+      auto diags = from_shared_report(
+          recoder::analyze_shared_accesses(*t.program, f), t.name, f.name);
+      for (auto& d : diags) out.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_shared_access_pass() {
+  return std::make_unique<SharedAccessPass>();
+}
+
+}  // namespace rw::lint

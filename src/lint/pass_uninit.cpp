@@ -1,0 +1,274 @@
+// Uninitialized-read and dead-store dataflow on the recoder AST.
+//
+// A forward reaching-definitions walk over the mini-C statement tree
+// (Sec. VI's "analysis tools" the designer concurs with or overrules).
+// Tracked state per scalar local: definitely-assigned (on all paths),
+// maybe-assigned (on some path), and the last straight-line store not yet
+// read. Reads of a never-assigned local are errors; reads that are only
+// assigned on some path are warnings; stores overwritten or falling off
+// the function end unread are dead-store warnings. Arrays, pointers,
+// globals and parameters are deliberately untracked — conservative in the
+// direction that avoids false alarms the designer would overrule.
+#include <map>
+#include <set>
+
+#include "common/strings.hpp"
+#include "lint/passes.hpp"
+
+namespace rw::lint {
+namespace {
+
+using recoder::Expr;
+using recoder::ExprKind;
+using recoder::Function;
+using recoder::Stmt;
+using recoder::StmtKind;
+using recoder::StmtPtr;
+
+struct FlowState {
+  std::set<std::string> tracked;     // scalar locals of this function
+  std::set<std::string> definitely;  // assigned on every path so far
+  std::set<std::string> maybe;       // assigned on at least one path
+  /// Variable -> description of the pending (not-yet-read) store.
+  std::map<std::string, std::string> pending;
+};
+
+/// Names assigned anywhere inside `body` (for the loop pre-pass: a value
+/// assigned in a loop body is maybe-assigned at every read in the body,
+/// because iteration k sees iteration k-1's stores).
+void collect_assigned(const std::vector<StmtPtr>& body,
+                      std::set<std::string>& out) {
+  for (const auto& sp : body) {
+    const Stmt& s = *sp;
+    if (s.kind == StmtKind::kDecl && s.expr) out.insert(s.name);
+    if (s.kind == StmtKind::kAssign && s.lhs &&
+        s.lhs->kind == ExprKind::kIdent)
+      out.insert(s.lhs->name);
+    if (s.kind == StmtKind::kFor && s.init &&
+        s.init->kind == StmtKind::kAssign && s.init->lhs &&
+        s.init->lhs->kind == ExprKind::kIdent)
+      out.insert(s.init->lhs->name);
+    if (s.kind == StmtKind::kFor && s.init &&
+        s.init->kind == StmtKind::kDecl)
+      out.insert(s.init->name);
+    collect_assigned(s.body, out);
+    collect_assigned(s.orelse, out);
+  }
+}
+
+class UninitPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "uninit-dataflow";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "reaching-definitions: uninitialized reads and dead stores";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.program != nullptr;
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    for (const auto& f : t.program->functions) {
+      FlowState st;
+      Walker w{t, f, out};
+      w.walk(f.body, st);
+      // Stores still pending at function end never reach a read: the
+      // local dies with the frame.
+      for (const auto& [var, desc] : st.pending)
+        w.report(Severity::kWarning, "dead-store", var,
+                 strformat("store to '%s' (%s) is never read before the "
+                           "end of '%s'",
+                           var.c_str(), desc.c_str(), f.name.c_str()));
+    }
+  }
+
+ private:
+  struct Walker {
+    const Target& target;
+    const Function& fn;
+    std::vector<Diagnostic>& out;
+    int assign_counter = 0;
+
+    void report(Severity sev, const char* kind, const std::string& var,
+                std::string message) const {
+      Diagnostic d;
+      d.severity = sev;
+      d.subsystem = "recoder";
+      d.pass = "uninit-dataflow";
+      d.kind = kind;
+      d.location = {target.name, var};
+      d.message = std::move(message);
+      d.with_evidence("function", fn.name);
+      out.push_back(std::move(d));
+    }
+
+    void read_var(const std::string& name, FlowState& st) const {
+      st.pending.erase(name);
+      if (!st.tracked.count(name)) return;
+      if (st.definitely.count(name)) return;
+      if (!st.maybe.count(name)) {
+        report(Severity::kError, "uninitialized-read", name,
+               strformat("'%s' is read in '%s' but never assigned on any "
+                         "path",
+                         name.c_str(), fn.name.c_str()));
+        // Report once: treat as assigned from here on.
+        st.definitely.insert(name);
+        st.maybe.insert(name);
+      } else {
+        report(Severity::kWarning, "possibly-uninitialized", name,
+               strformat("'%s' is read in '%s' but only assigned on some "
+                         "paths",
+                         name.c_str(), fn.name.c_str()));
+        st.definitely.insert(name);
+      }
+    }
+
+    void assign_var(const std::string& name, FlowState& st) {
+      ++assign_counter;
+      if (st.tracked.count(name)) {
+        const auto it = st.pending.find(name);
+        if (it != st.pending.end())
+          report(Severity::kWarning, "dead-store", name,
+                 strformat("store to '%s' (%s) is overwritten in '%s' "
+                           "before any read",
+                           name.c_str(), it->second.c_str(),
+                           fn.name.c_str()));
+        st.pending[name] = strformat("assignment #%d", assign_counter);
+      }
+      st.definitely.insert(name);
+      st.maybe.insert(name);
+    }
+
+    /// Escape: the address is taken; any aliased read/write is possible,
+    /// so the variable leaves tracking (assigned + no pending store).
+    void escape_var(const std::string& name, FlowState& st) const {
+      st.definitely.insert(name);
+      st.maybe.insert(name);
+      st.pending.erase(name);
+      st.tracked.erase(name);
+    }
+
+    void check_expr(const Expr& e, FlowState& st) const {
+      switch (e.kind) {
+        case ExprKind::kIdent:
+          read_var(e.name, st);
+          return;
+        case ExprKind::kAddrOf:
+          if (!e.kids.empty() && e.kids[0]->kind == ExprKind::kIdent) {
+            escape_var(e.kids[0]->name, st);
+            return;
+          }
+          break;
+        default:
+          break;
+      }
+      for (const auto& k : e.kids) check_expr(*k, st);
+    }
+
+    void walk(const std::vector<StmtPtr>& body, FlowState& st) {
+      for (const auto& sp : body) walk_stmt(*sp, st);
+    }
+
+    void walk_stmt(const Stmt& s, FlowState& st) {
+      switch (s.kind) {
+        case StmtKind::kDecl:
+          if (s.is_array || s.is_pointer) {
+            // Untracked: arrays/pointers are the shared-report passes'
+            // territory; treat as initialized.
+            if (s.expr) check_expr(*s.expr, st);
+            st.definitely.insert(s.name);
+            st.maybe.insert(s.name);
+            return;
+          }
+          if (s.expr) {
+            check_expr(*s.expr, st);
+            st.tracked.insert(s.name);
+            assign_var(s.name, st);
+          } else {
+            st.tracked.insert(s.name);
+            st.definitely.erase(s.name);
+            st.maybe.erase(s.name);
+          }
+          return;
+        case StmtKind::kAssign:
+          if (s.expr) check_expr(*s.expr, st);
+          if (s.lhs) {
+            if (s.lhs->kind == ExprKind::kIdent) {
+              assign_var(s.lhs->name, st);
+            } else {
+              // a[i] = .. reads i (and the pointer for *p = ..).
+              for (const auto& k : s.lhs->kids) check_expr(*k, st);
+              if (s.lhs->kind == ExprKind::kIndex && !s.lhs->kids.empty() &&
+                  s.lhs->kids[0]->kind == ExprKind::kIdent) {
+                // Writing one element doesn't define the array; nothing
+                // to track, but drop a pending store through the name.
+                st.pending.erase(s.lhs->kids[0]->name);
+              }
+            }
+          }
+          return;
+        case StmtKind::kExprStmt:
+        case StmtKind::kReturn:
+          if (s.expr) check_expr(*s.expr, st);
+          return;
+        case StmtKind::kIf: {
+          if (s.expr) check_expr(*s.expr, st);
+          FlowState then_st = st;
+          FlowState else_st = st;
+          walk(s.body, then_st);
+          walk(s.orelse, else_st);
+          st = join(then_st, else_st);
+          return;
+        }
+        case StmtKind::kFor:
+        case StmtKind::kWhile: {
+          if (s.init) walk_stmt(*s.init, st);
+          // Values stored by the body are maybe-assigned at every read
+          // inside it (later iterations), but not definitely-assigned
+          // after the loop (zero-trip).
+          std::set<std::string> body_assigns;
+          collect_assigned(s.body, body_assigns);
+          if (s.kind == StmtKind::kFor && s.step &&
+              s.step->kind == StmtKind::kAssign && s.step->lhs &&
+              s.step->lhs->kind == ExprKind::kIdent)
+            body_assigns.insert(s.step->lhs->name);
+          if (s.expr) check_expr(*s.expr, st);
+          FlowState body_st = st;
+          body_st.maybe.insert(body_assigns.begin(), body_assigns.end());
+          body_st.pending.clear();
+          walk(s.body, body_st);
+          if (s.step) walk_stmt(*s.step, body_st);
+          if (s.expr) check_expr(*s.expr, body_st);
+          // Join loop-taken with zero-trip.
+          st = join(st, body_st);
+          return;
+        }
+        case StmtKind::kBlock:
+          walk(s.body, st);
+          return;
+      }
+    }
+
+    static FlowState join(const FlowState& a, const FlowState& b) {
+      FlowState j;
+      j.tracked = a.tracked;  // decls in branches are branch-scoped; the
+      for (const auto& v : b.tracked) j.tracked.insert(v);
+      for (const auto& v : a.definitely)
+        if (b.definitely.count(v)) j.definitely.insert(v);
+      j.maybe = a.maybe;
+      for (const auto& v : b.maybe) j.maybe.insert(v);
+      // Pending stores across a join would need path-sensitive reporting;
+      // drop them (conservative: fewer dead-store findings, never wrong).
+      return j;
+    }
+  };
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_uninit_pass() {
+  return std::make_unique<UninitPass>();
+}
+
+}  // namespace rw::lint

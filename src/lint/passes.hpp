@@ -1,0 +1,31 @@
+// The shipped analysis passes.
+//
+//   static-race      W/W or W/R on a shared variable from two partitions
+//                    with no ordering path in the mapped task graph
+//                    (static twin of vpdebug::RaceDetector).
+//   static-deadlock  cycles in the blocking-communication order graph of
+//                    a mapped task graph (channel waits + per-PE run-to-
+//                    completion order), plus token-aware CSDF abstract
+//                    execution via dataflow::detect_deadlock.
+//   uninit-dataflow  forward reaching-definitions on the recoder AST:
+//                    reads of never-assigned locals, dead stores.
+//   buffer-bounds    dataflow::compute_buffer_capacities as a pass:
+//                    errors when no wait-free capacity assignment exists
+//                    or provided capacities are under the sufficient ones.
+#pragma once
+
+#include <memory>
+
+#include "lint/pass.hpp"
+
+namespace rw::lint {
+
+std::unique_ptr<Pass> make_race_pass();
+std::unique_ptr<Pass> make_deadlock_pass();
+std::unique_ptr<Pass> make_uninit_pass();
+std::unique_ptr<Pass> make_buffer_pass();
+/// Bonus fifth pass: recoder shared-array access classification
+/// (Sec. VI), re-emitted through the Diagnostic adapter.
+std::unique_ptr<Pass> make_shared_access_pass();
+
+}  // namespace rw::lint

@@ -165,15 +165,24 @@ class Interp {
     }
     const std::int64_t a = as_int(lv);
     const std::int64_t b = as_int(rv);
-    if (e.op == "+") return a + b;
-    if (e.op == "-") return a - b;
-    if (e.op == "*") return a * b;
+    // Arithmetic wraps (two's complement): compute in unsigned so deep
+    // unrolled/fused expression chains stay defined behavior under UBSan.
+    auto wrap = [](std::uint64_t v) {
+      return static_cast<std::int64_t>(v);
+    };
+    const auto ua = static_cast<std::uint64_t>(a);
+    const auto ub = static_cast<std::uint64_t>(b);
+    if (e.op == "+") return wrap(ua + ub);
+    if (e.op == "-") return wrap(ua - ub);
+    if (e.op == "*") return wrap(ua * ub);
     if (e.op == "/") {
       if (b == 0) throw InterpError("division by zero");
+      if (a == INT64_MIN && b == -1) return INT64_MIN;  // -x would overflow
       return a / b;
     }
     if (e.op == "%") {
       if (b == 0) throw InterpError("modulo by zero");
+      if (a == INT64_MIN && b == -1) return std::int64_t{0};
       return a % b;
     }
     auto boolean = [](bool v) { return static_cast<std::int64_t>(v); };

@@ -74,6 +74,62 @@ TEST(DataflowDeadlock, PartialProgressStillReported) {
   EXPECT_EQ(rep.blocked.size(), 2u);
 }
 
+TEST(DataflowDeadlock, ZeroTokenSelfCycleDeadlocksImmediately) {
+  // A self-loop with no initial tokens: the actor waits on itself.
+  dataflow::Graph g;
+  const auto a = g.add_actor("self", 10);
+  g.connect(a, a, 1, 1);
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  ASSERT_EQ(rep.blocked.size(), 1u);
+  EXPECT_EQ(rep.blocked[0].tokens_present, 0u);
+  EXPECT_EQ(rep.blocked[0].tokens_needed, 1u);
+}
+
+TEST(DataflowDeadlock, SelfCycleWithTokenIsLive) {
+  dataflow::Graph g;
+  const auto a = g.add_actor("self", 10);
+  g.connect(a, a, 1, 1, /*initial_tokens=*/1);
+  EXPECT_FALSE(dataflow::detect_deadlock(g).deadlocked);
+}
+
+TEST(DataflowDeadlock, TwoIndependentCyclesBothReported) {
+  // Two disjoint tokenless cycles wedge independently; all four actors
+  // must show up blocked, not just the first cycle found.
+  dataflow::Graph g;
+  const auto a = g.add_actor("a1", 10);
+  const auto b = g.add_actor("a2", 10);
+  const auto c = g.add_actor("b1", 10);
+  const auto d = g.add_actor("b2", 10);
+  g.connect(a, b, 1, 1);
+  g.connect(b, a, 1, 1);
+  g.connect(c, d, 1, 1);
+  g.connect(d, c, 1, 1);
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  EXPECT_EQ(rep.blocked.size(), 4u);
+}
+
+TEST(DataflowDeadlock, LiveCycleFeedingDeadCycleOnlyDeadPartBlocked) {
+  // Cycle {a,b} has a token and turns forever at the abstract level;
+  // cycle {c,d} is tokenless. Only the dead pair may be reported.
+  dataflow::Graph g;
+  const auto a = g.add_actor("live_a", 10);
+  const auto b = g.add_actor("live_b", 10);
+  const auto c = g.add_actor("dead_c", 10);
+  const auto d = g.add_actor("dead_d", 10);
+  g.connect(a, b, 1, 1, 1);
+  g.connect(b, a, 1, 1);
+  g.connect(b, c, 1, 1);  // feed the dead cycle from the live one
+  g.connect(c, d, 1, 1);
+  g.connect(d, c, 1, 1);
+  const auto rep = dataflow::detect_deadlock(g);
+  ASSERT_TRUE(rep.deadlocked);
+  for (const auto& blk : rep.blocked)
+    EXPECT_NE(blk.actor_name.find("dead_"), std::string::npos)
+        << "live actor " << blk.actor_name << " wrongly reported blocked";
+}
+
 // -------------------------------------------------------------- cic layer
 
 TEST(CicDeadlock, ChannelCycleDiagnosedAtRuntime) {

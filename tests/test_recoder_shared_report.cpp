@@ -93,6 +93,57 @@ TEST(SharedReport, RenderMentionsEverything) {
   EXPECT_NE(text.find("range [0,8)"), std::string::npos);
 }
 
+TEST(SharedReport, EmptyFunctionBodyReportsNothing) {
+  auto p = parse_program(R"(
+    int buf[8];
+    int main() { return 0; }
+  )");
+  ASSERT_TRUE(p.ok());
+  const auto reps =
+      analyze_shared_accesses(p.value(), *p.value().find_function("main"));
+  // The global is visible but main never touches it: sites stay empty and
+  // nothing is recommended beyond "not analyzable".
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_TRUE(reps[0].sites.empty());
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
+TEST(SharedReport, NonCanonicalLoopStepNotAnalyzable) {
+  // Stride-2 induction: the loop is well-formed but the access pattern is
+  // not the canonical i++ the channelizer reasons about.
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 0; i < 8; i = i + 2) { buf[i] = i; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
+TEST(SharedReport, DownwardCountingLoopNotAnalyzable) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      for (int i = 7; i > 0 - 1; i = i - 1) { buf[i] = i; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
+TEST(SharedReport, WhileLoopAccessIsOutsideCanonicalForm) {
+  const auto reps = report_of(R"(
+    int buf[8];
+    int main() {
+      int i = 0;
+      while (i < 8) { buf[i] = i; i = i + 1; }
+      return 0;
+    })");
+  ASSERT_EQ(reps.size(), 1u);
+  EXPECT_EQ(reps[0].recommendation, Recommendation::kNotAnalyzable);
+}
+
 TEST(SharedReport, IgnoresScalarsAndOtherFunctions) {
   auto p = parse_program(R"(
     int x;

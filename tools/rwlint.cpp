@@ -1,0 +1,18 @@
+// rwlint: run the rw::lint static-analysis passes over the seeded-defect
+// corpus (or a subset), print a diagnostic table per program, write
+// LINT_<name>.json, and exit nonzero iff an error-severity finding exists.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = rw::lint::parse_driver_args(args);
+  if (!opts.ok()) {
+    std::cerr << opts.error().to_string() << "\n";
+    return 2;
+  }
+  return rw::lint::run_driver(opts.value(), std::cout).exit_code;
+}
