@@ -10,119 +10,195 @@
 // never miss in simulation); the reactive pool keeps interactive response
 // low under rising batch load; and the concurrency graph sizes the
 // platform for the worst legal application mix.
+//
+// All three parts run as rw::harness runs (the admission sequence and the
+// concurrency graph as one run each, the pool sweep as one run per batch
+// load) and land in BENCH_e10_hybrid_sched.json.
 #include <cstdio>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "harness/harness.hpp"
 #include "maps/concurrency.hpp"
 #include "sched/hybrid.hpp"
 #include "sched/uniproc.hpp"
 
-int main() {
-  using namespace rw;
-  using namespace rw::sched;
+namespace {
 
-  // --- part 1: predictable hard-RT admission ---
+using namespace rw;
+using namespace rw::sched;
+
+constexpr int kRtSets = 8;
+
+// Part 1: sequential admission of 8 RT sets onto 2 time-shared cores.
+// Admission is stateful (later sets see earlier load), so the whole
+// sequence is one deterministic run; per-set outcomes become extras.
+RunMetrics run_admission() {
+  HybridConfig cfg;
+  cfg.time_shared_cores = 2;
+  HybridScheduler os(cfg);
+  RunMetrics m;
+  std::uint64_t admitted = 0, total_misses = 0;
+  for (int i = 0; i < kRtSets; ++i) {
+    TaskSet ts;
+    ts.add("rt" + std::to_string(i), 900'000,
+           milliseconds(2 + (i % 3)));  // ~0.9Mcycles every 2-4 ms
+    const auto adm = os.admit_rt(ts);
+    m.set_extra(strformat("rt%d_admitted", i), adm.admitted ? 1.0 : 0.0);
+    if (!adm.admitted) continue;
+    ++admitted;
+    m.set_extra(strformat("rt%d_core", i),
+                static_cast<double>(adm.core));
+    m.set_extra(strformat("rt%d_freq_hz", i),
+                static_cast<double>(adm.frequency));
+    TaskSet merged = os.rt_cores()[adm.core];
+    merged.frequency = os.rt_frequencies()[adm.core];
+    assign_dm_priorities(merged);
+    const auto sim = simulate_uniproc(merged, milliseconds(120),
+                                      {Policy::kFixedPriority, 200});
+    m.set_extra(strformat("rt%d_misses", i),
+                static_cast<double>(sim.total_misses()));
+    total_misses += sim.total_misses();
+  }
+  m.deadline_misses = total_misses;
+  m.set_extra("admitted", static_cast<double>(admitted));
+  return m;
+}
+
+// Part 2: one pool run per batch load level.
+RunMetrics run_pool_level(int batch) {
+  HybridConfig cfg;
+  cfg.pool_cores = 16;
+  HybridScheduler os(cfg);
+  std::vector<HybridScheduler::GangArrival> arr;
+  for (int b = 0; b < batch; ++b) {
+    HybridScheduler::GangArrival a;
+    a.app.name = "batch" + std::to_string(b);
+    a.app.total_work = 200'000'000;
+    a.app.serial_fraction = 0.05;
+    a.arrival = 0;
+    arr.push_back(a);
+  }
+  HybridScheduler::GangArrival inter;
+  inter.app.name = "interactive";
+  inter.app.total_work = 4'000'000;
+  inter.app.serial_fraction = 0.0;
+  inter.arrival = milliseconds(5);
+  arr.push_back(inter);
+
+  const auto r = os.run_pool(arr);
+  double batch_sum = 0;
+  DurationPs inter_resp = 0;
+  for (const auto& a : r.pool_apps) {
+    if (a.name == "interactive") {
+      inter_resp = a.response();
+    } else {
+      batch_sum += static_cast<double>(a.response());
+    }
+  }
+  RunMetrics m;
+  m.makespan = r.pool_makespan;
+  m.mean_core_utilization = r.pool_utilization;
+  m.set_extra("batch_jobs", batch);
+  m.set_extra("batch_mean_response_ps", batch_sum / batch);
+  m.set_extra("interactive_response_ps", static_cast<double>(inter_resp));
+  m.set_extra("reallocations", static_cast<double>(r.reallocations));
+  return m;
+}
+
+// Part 3: concurrency-graph provisioning (Sec. IV).
+RunMetrics run_concurrency() {
+  maps::ConcurrencyGraph cg;
+  const auto mp3 = cg.add_app("mp3", 0.2);
+  const auto call = cg.add_app("voice_call", 0.6);
+  const auto video = cg.add_app("video_rec", 1.4);
+  const auto browser = cg.add_app("browser", 0.8);
+  const auto sync = cg.add_app("bg_sync", 0.3);
+  cg.add_conflict(mp3, browser);
+  cg.add_conflict(mp3, sync);
+  cg.add_conflict(call, sync);
+  cg.add_conflict(video, sync);
+  cg.add_conflict(browser, sync);
+  cg.add_conflict(call, browser);
+  const auto wc = cg.worst_case_load();
+  RunMetrics m;
+  m.set_extra("worst_case_load", wc.load);
+  m.set_extra("clique_size", static_cast<double>(wc.clique.size()));
+  m.set_extra("cores_needed", static_cast<double>(cg.cores_needed(0.7)));
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const int batches[] = {1, 2, 4, 8, 16};
+
+  harness::Scenario scenario("e10_hybrid_sched");
+  scenario.add_run("admission",
+                   [](const harness::RunContext&) { return run_admission(); });
+  for (const int batch : batches)
+    scenario.add_run(strformat("pool_b%02d", batch),
+                     [batch](const harness::RunContext&) {
+                       return run_pool_level(batch);
+                     });
+  scenario.add_run("concurrency", [](const harness::RunContext&) {
+    return run_concurrency();
+  });
+  const auto result = harness::Runner().run(scenario);
+
   std::printf("E10: hybrid time-shared/space-shared reactive scheduling\n");
   {
-    HybridConfig cfg;
-    cfg.time_shared_cores = 2;
-    HybridScheduler os(cfg);
+    const auto& m = result.find("admission")->metrics;
     Table t({"arriving RT set", "admitted?", "core", "frequency",
              "sim misses"});
-    int admitted_count = 0;
-    for (int i = 0; i < 8; ++i) {
-      TaskSet ts;
-      ts.add("rt" + std::to_string(i), 900'000,
-             milliseconds(2 + (i % 3)));  // ~0.9Mcycles every 2-4 ms
-      const auto adm = os.admit_rt(ts);
-      std::string misses = "-";
-      if (adm.admitted) {
-        ++admitted_count;
-        TaskSet merged = os.rt_cores()[adm.core];
-        merged.frequency = os.rt_frequencies()[adm.core];
-        assign_dm_priorities(merged);
-        const auto sim = simulate_uniproc(merged, milliseconds(120),
-                                          {Policy::kFixedPriority, 200});
-        misses = Table::num(sim.total_misses());
-      }
-      t.add_row({"rt" + std::to_string(i),
-                 adm.admitted ? "yes" : "REJECTED",
-                 adm.admitted ? Table::num(static_cast<std::uint64_t>(
-                                    adm.core))
-                              : "-",
-                 adm.admitted ? format_hz(adm.frequency) : "-", misses});
+    for (int i = 0; i < kRtSets; ++i) {
+      const bool adm = m.extra_or(strformat("rt%d_admitted", i)) > 0.5;
+      t.add_row({"rt" + std::to_string(i), adm ? "yes" : "REJECTED",
+                 adm ? Table::num(static_cast<std::uint64_t>(
+                           m.extra_or(strformat("rt%d_core", i))))
+                     : "-",
+                 adm ? format_hz(static_cast<HertzT>(
+                           m.extra_or(strformat("rt%d_freq_hz", i))))
+                     : "-",
+                 adm ? Table::num(static_cast<std::uint64_t>(
+                           m.extra_or(strformat("rt%d_misses", i))))
+                     : "-"});
     }
     t.print("admission control (2 time-shared cores, DVFS ladder)");
-    std::printf("admitted %d/8; every admitted row must show 0 misses "
-                "(predictability).\n\n", admitted_count);
+    std::printf("admitted %.0f/%d; every admitted row must show 0 misses "
+                "(predictability).\n\n",
+                m.extra_or("admitted"), kRtSets);
   }
-
-  // --- part 2: reactive pool under rising load ---
   {
     Table t({"batch jobs", "batch mean response", "interactive response",
              "pool util"});
-    for (const int batch : {1, 2, 4, 8, 16}) {
-      HybridConfig cfg;
-      cfg.pool_cores = 16;
-      HybridScheduler os(cfg);
-      std::vector<HybridScheduler::GangArrival> arr;
-      for (int b = 0; b < batch; ++b) {
-        HybridScheduler::GangArrival a;
-        a.app.name = "batch" + std::to_string(b);
-        a.app.total_work = 200'000'000;
-        a.app.serial_fraction = 0.05;
-        a.arrival = 0;
-        arr.push_back(a);
-      }
-      HybridScheduler::GangArrival inter;
-      inter.app.name = "interactive";
-      inter.app.total_work = 4'000'000;
-      inter.app.serial_fraction = 0.0;
-      inter.arrival = milliseconds(5);
-      arr.push_back(inter);
-
-      const auto r = os.run_pool(arr);
-      double batch_sum = 0;
-      DurationPs inter_resp = 0;
-      for (const auto& a : r.pool_apps) {
-        if (a.name == "interactive") {
-          inter_resp = a.response();
-        } else {
-          batch_sum += static_cast<double>(a.response());
-        }
-      }
+    for (const int batch : batches) {
+      const auto& m = result.find(strformat("pool_b%02d", batch))->metrics;
       t.add_row({Table::num(static_cast<std::uint64_t>(batch)),
-                 format_time(static_cast<TimePs>(batch_sum / batch)),
-                 format_time(inter_resp),
-                 Table::percent(r.pool_utilization)});
+                 format_time(static_cast<TimePs>(
+                     m.extra_or("batch_mean_response_ps"))),
+                 format_time(static_cast<TimePs>(
+                     m.extra_or("interactive_response_ps"))),
+                 Table::percent(m.mean_core_utilization)});
     }
     t.print("reactive equipartition: interactive job vs batch load");
   }
-
-  // --- part 3: concurrency-graph provisioning (Sec. IV) ---
   {
-    maps::ConcurrencyGraph cg;
-    const auto mp3 = cg.add_app("mp3", 0.2);
-    const auto call = cg.add_app("voice_call", 0.6);
-    const auto video = cg.add_app("video_rec", 1.4);
-    const auto browser = cg.add_app("browser", 0.8);
-    const auto sync = cg.add_app("bg_sync", 0.3);
-    cg.add_conflict(mp3, browser);
-    cg.add_conflict(mp3, sync);
-    cg.add_conflict(call, sync);
-    cg.add_conflict(video, sync);
-    cg.add_conflict(browser, sync);
-    cg.add_conflict(call, browser);
-    const auto wc = cg.worst_case_load();
-    std::printf("concurrency graph: worst-case load %.2f from clique {",
-                wc.load);
-    for (const auto i : wc.clique)
-      std::printf(" %s", cg.apps()[i].name.c_str());
-    std::printf(" } -> %zu cores needed at U=0.7 each\n",
-                cg.cores_needed(0.7));
+    const auto& m = result.find("concurrency")->metrics;
+    std::printf("concurrency graph: worst-case load %.2f from a %zu-app "
+                "clique -> %zu cores needed at U=0.7 each\n",
+                m.extra_or("worst_case_load"),
+                static_cast<std::size_t>(m.extra_or("clique_size")),
+                static_cast<std::size_t>(m.extra_or("cores_needed")));
   }
 
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s =
+          harness::write_json("BENCH_e10_hybrid_sched.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("\nexpected shape: admission fills both cores then rejects; "
               "interactive response\nstays near its 16-core lower bound "
               "while batch responses stretch; provisioning\nfollows the "

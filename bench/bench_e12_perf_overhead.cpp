@@ -1,0 +1,147 @@
+// E12 — Sec. VII: virtual platforms make software observable without
+// perturbing it ("the simulation can be non-intrusively instrumented"),
+// whereas target-resident instrumentation steals cycles from the
+// application. rw::perf models both.
+//
+// Shape to reproduce: sweeping the sampling period, the virtual-platform
+// (non-intrusive) profiler's overhead is identically zero — the makespan
+// equals the unobserved baseline bit for bit — while a modelled on-target
+// sampling agent (cost_cycles > 0) slows the run roughly in proportion to
+// the sampling rate. Attribution accuracy degrades as the period grows:
+// the cost of observing less often. At the default 10 us period the
+// intrusive overhead stays under 5% of the simulated makespan.
+//
+// One rw::harness run per (period, mode) cell plus the baseline;
+// results land in BENCH_perf.json.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+#include "perf/profiler.hpp"
+#include "perf/session.hpp"
+#include "perf/workload.hpp"
+#include "sim/platform.hpp"
+
+namespace {
+
+using namespace rw;
+
+constexpr std::size_t kCores = 4;
+constexpr Cycles kIntrusiveCost = 100;  // cycles stolen per sample per core
+constexpr std::uint64_t kSeed = 7;
+
+struct BenchConfig {
+  std::uint64_t scale = 8;
+  std::vector<std::uint64_t> periods_us = {2, 5, 10, 20, 50};
+};
+
+std::unique_ptr<sim::Platform> make_platform() {
+  sim::PlatformConfig cfg = sim::PlatformConfig::homogeneous(kCores);
+  cfg.trace_enabled = true;  // exact per-label busy time, for accuracy
+  return std::make_unique<sim::Platform>(std::move(cfg));
+}
+
+RunMetrics run_baseline(std::uint64_t scale) {
+  auto plat = make_platform();
+  perf::spawn_workload("forkjoin", *plat, kSeed, scale);
+  plat->kernel().run();
+  RunMetrics m;
+  m.makespan = plat->kernel().now();
+  return m;
+}
+
+RunMetrics run_profiled(std::uint64_t scale, DurationPs period,
+                        bool intrusive) {
+  auto plat = make_platform();
+  perf::PerfConfig pcfg;
+  pcfg.profiler.period = period;
+  pcfg.profiler.cost_cycles = intrusive ? kIntrusiveCost : 0;
+  pcfg.collect_epochs = false;
+  perf::PerfSession session(*plat, pcfg);
+  perf::spawn_workload("forkjoin", *plat, kSeed, scale);
+  plat->kernel().run();
+
+  const perf::PerfReport report = session.report();
+  RunMetrics m;
+  m.makespan = report.makespan;
+  m.mean_core_utilization = report.mean_utilization();
+  report.to_extras(m);
+  m.set_extra("period_us", static_cast<double>(period) / 1e6);
+  m.set_extra("intrusive", intrusive ? 1.0 : 0.0);
+  m.set_extra("attribution_accuracy",
+              perf::attribution_accuracy(report.profile,
+                                         plat->tracer().events(), kCores));
+  return m;
+}
+
+std::string label(std::uint64_t period_us, bool intrusive) {
+  return strformat("p%03llu_%s",
+                   static_cast<unsigned long long>(period_us),
+                   intrusive ? "intrusive" : "nonintrusive");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) {
+      // CI smoke configuration: small workload, two periods.
+      cfg.scale = 1;
+      cfg.periods_us = {5, 20};
+    }
+  }
+
+  harness::Scenario scenario("e12_perf_overhead");
+  scenario.add_run("baseline", [&cfg](const harness::RunContext&) {
+    return run_baseline(cfg.scale);
+  });
+  for (const std::uint64_t p : cfg.periods_us)
+    for (const bool intrusive : {false, true})
+      scenario.add_run(label(p, intrusive),
+                       [&cfg, p, intrusive](const harness::RunContext&) {
+                         return run_profiled(cfg.scale, microseconds(p),
+                                             intrusive);
+                       });
+  const auto result = harness::Runner().run(scenario);
+
+  const TimePs base = result.find("baseline")->metrics.makespan;
+  std::printf("E12: sampling-profiler overhead and attribution accuracy "
+              "(forkjoin, %zu cores, baseline %s)\n",
+              kCores, format_time(base).c_str());
+
+  Table t({"period", "mode", "samples", "makespan", "overhead", "accuracy"});
+  bool default_period_ok = true;
+  for (const std::uint64_t p : cfg.periods_us) {
+    for (const bool intrusive : {false, true}) {
+      const auto& m = result.find(label(p, intrusive))->metrics;
+      const double overhead =
+          (static_cast<double>(m.makespan) - static_cast<double>(base)) /
+          static_cast<double>(base);
+      if (p == 10 && intrusive && overhead >= 0.05) default_period_ok = false;
+      t.add_row({strformat("%llu us", static_cast<unsigned long long>(p)),
+                 intrusive ? "on-target" : "virtual-platform",
+                 Table::num(static_cast<std::uint64_t>(
+                     m.extra_or("pmu.samples"))),
+                 format_time(m.makespan), Table::percent(overhead),
+                 Table::num(m.extra_or("attribution_accuracy"))});
+    }
+  }
+  t.print("virtual-platform sampling is free; on-target sampling pays "
+          "~cost/period");
+
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s = harness::write_json("BENCH_perf.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
+  std::printf("expected shape: virtual-platform rows show exactly 0%% "
+              "overhead at every\nperiod; on-target overhead shrinks with "
+              "the period (<5%% at the 10 us default);\naccuracy falls as "
+              "samples get sparser.\n");
+  return default_period_ok ? 0 : 1;
+}

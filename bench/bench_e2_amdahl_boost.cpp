@@ -5,33 +5,165 @@
 // Shape to reproduce: for an Amdahl-limited application the speedup curve
 // saturates at 1/s; boosting the serial phase's core raises the ceiling
 // roughly by the boost factor (at quadratic energy cost per cycle).
+//
+// Two parts, both through rw::harness (BENCH_e2_amdahl_boost.json):
+//   * analytic — the classic Amdahl sweep over (serial fraction, cores,
+//     boost), one run per serial fraction;
+//   * simulated — a chunked fork-join app on the virtual platform where a
+//     perf::PmuGovernor reads PMU utilization windows and boosts the
+//     serial-phase core, versus the same app at a fixed clock. The
+//     governed speedup must grow with the serial fraction — the
+//     frequency-boost shape, now closed through the counter pipeline.
 #include <cstdio>
+#include <memory>
 
-#include "common/table.hpp"
 #include "common/strings.hpp"
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+#include "perf/governor.hpp"
+#include "perf/session.hpp"
 #include "sched/dvfs.hpp"
 #include "sched/task.hpp"
+#include "sim/channel.hpp"
+#include "sim/platform.hpp"
+#include "sim/process.hpp"
+
+namespace {
+
+using namespace rw;
+
+constexpr std::size_t kCores = 4;
+constexpr std::uint64_t kRounds = 4;
+constexpr Cycles kWorkPerRound = 4'000'000;  // cycles, serial + parallel
+constexpr Cycles kChunk = 4'000;             // 10 us at 400 MHz
+
+struct AmdahlState {
+  std::vector<std::unique_ptr<sim::Channel<std::uint64_t>>> fork;
+  std::unique_ptr<sim::Channel<std::uint64_t>> join;
+  Cycles parallel_per_worker = 0;
+};
+
+sim::Process amdahl_worker(sim::Platform& plat,
+                           std::shared_ptr<AmdahlState> st,
+                           std::size_t worker) {
+  sim::Core& core = plat.core(worker);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    (void)co_await st->fork[worker]->recv();
+    // Chunked so a DVFS decision between chunks takes effect mid-phase.
+    for (Cycles left = st->parallel_per_worker; left > 0;) {
+      const Cycles c = left < kChunk ? left : kChunk;
+      co_await core.compute(c, "parallel");
+      left -= c;
+    }
+    co_await st->join->send(worker);
+  }
+}
+
+sim::Process amdahl_master(sim::Platform& plat,
+                           std::shared_ptr<AmdahlState> st,
+                           Cycles serial_per_round) {
+  sim::Core& core = plat.core(0);
+  for (std::uint64_t r = 0; r < kRounds; ++r) {
+    for (Cycles left = serial_per_round; left > 0;) {
+      const Cycles c = left < kChunk ? left : kChunk;
+      co_await core.compute(c, "serial");
+      left -= c;
+    }
+    for (auto& ch : st->fork) co_await ch->send(r);
+    for (std::size_t w = 0; w < st->fork.size(); ++w)
+      (void)co_await st->join->recv();
+  }
+}
+
+RunMetrics run_sim(double serial_frac, bool governed) {
+  sim::Platform plat(sim::PlatformConfig::homogeneous(kCores, mhz(400)));
+  perf::PerfConfig pcfg;
+  pcfg.profile = false;  // counters + epochs only; keep the run lean
+  perf::PerfSession session(plat, pcfg);
+  std::unique_ptr<perf::PmuGovernor> gov;
+  if (governed) {
+    gov = std::make_unique<perf::PmuGovernor>(plat, session.pmu(),
+                                              perf::GovernorConfig{});
+    gov->start();
+  }
+
+  auto st = std::make_shared<AmdahlState>();
+  const auto serial =
+      static_cast<Cycles>(static_cast<double>(kWorkPerRound) * serial_frac);
+  st->parallel_per_worker = (kWorkPerRound - serial) / kCores;
+  for (std::size_t w = 0; w < kCores; ++w)
+    st->fork.push_back(std::make_unique<sim::Channel<std::uint64_t>>(
+        plat.kernel(), 1, strformat("fork%zu", w)));
+  st->join = std::make_unique<sim::Channel<std::uint64_t>>(plat.kernel(),
+                                                           kCores, "join");
+  for (std::size_t w = 0; w < kCores; ++w)
+    sim::spawn(plat.kernel(), amdahl_worker(plat, st, w));
+  sim::spawn(plat.kernel(), amdahl_master(plat, st, serial));
+  plat.kernel().run();
+
+  const perf::PerfReport report = session.report();
+  RunMetrics m;
+  m.makespan = report.makespan;
+  m.mean_core_utilization = report.mean_utilization();
+  report.to_extras(m);
+  m.set_extra("dvfs_transitions",
+              gov ? static_cast<double>(gov->transitions()) : 0.0);
+  m.set_extra("serial_fraction", serial_frac);
+  return m;
+}
+
+std::string sim_label(double serial_frac, bool governed) {
+  return strformat("sim_s%02.0f_%s", serial_frac * 100,
+                   governed ? "governed" : "fixed");
+}
+
+}  // namespace
 
 int main() {
-  using namespace rw;
   using namespace rw::sched;
 
   std::printf("E2: Amdahl's law with serial-phase frequency boosting\n");
 
-  for (const double serial : {0.05, 0.20, 0.50}) {
-    ParallelApp app;
-    app.total_work = 100'000'000;
-    app.serial_fraction = serial;
+  const double fracs[] = {0.05, 0.20, 0.50};
 
+  harness::Scenario scenario("e2_amdahl_boost");
+  // Analytic sweep: one run per serial fraction, metrics carry the curve.
+  for (const double serial : fracs) {
+    scenario.add_run(strformat("amdahl_s%02.0f", serial * 100),
+                     [serial](const harness::RunContext&) {
+                       ParallelApp app;
+                       app.total_work = 100'000'000;
+                       app.serial_fraction = serial;
+                       RunMetrics m;
+                       for (const std::size_t n : {1u, 4u, 16u, 64u, 256u})
+                         for (const double b : {1.0, 2.0, 4.0})
+                           m.set_extra(
+                               strformat("speedup_n%zu_b%.0f", n, b),
+                               app.speedup(n, b));
+                       m.set_extra("serial_fraction", serial);
+                       return m;
+                     });
+  }
+  // Simulated sweep: fixed clock vs PMU-governed DVFS.
+  for (const double serial : fracs)
+    for (const bool governed : {false, true})
+      scenario.add_run(sim_label(serial, governed),
+                       [serial, governed](const harness::RunContext&) {
+                         return run_sim(serial, governed);
+                       });
+  const auto result = harness::Runner().run(scenario);
+
+  for (const double serial : fracs) {
+    const auto& m = result.find(strformat("amdahl_s%02.0f", serial * 100))
+                        ->metrics;
     Table t({"cores", "speedup (no boost)", "speedup (2x boost)",
              "speedup (4x boost)"});
-    for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 256u}) {
+    for (const std::size_t n : {1u, 4u, 16u, 64u, 256u})
       t.add_row({Table::num(static_cast<std::uint64_t>(n)),
-                 Table::num(app.speedup(n, 1.0)),
-                 Table::num(app.speedup(n, 2.0)),
-                 Table::num(app.speedup(n, 4.0))});
-    }
-    t.print(strformat("serial fraction %.0f%%", serial * 100));
+                 Table::num(m.extra_or(strformat("speedup_n%zu_b1", n))),
+                 Table::num(m.extra_or(strformat("speedup_n%zu_b2", n))),
+                 Table::num(m.extra_or(strformat("speedup_n%zu_b4", n)))});
+    t.print(strformat("serial fraction %.0f%% (analytic)", serial * 100));
   }
 
   Table e({"boost", "energy/cycle vs nominal"});
@@ -41,8 +173,34 @@ int main() {
                    static_cast<HertzT>(mhz(400) * b), mhz(400)))});
   e.print("the price: energy per cycle grows quadratically with boost");
 
-  std::printf("expected shape: unboosted curves saturate at 1/s "
-              "(20x, 5x, 2x); boosting\nthe serial phase multiplies the "
-              "asymptote by roughly the boost factor.\n");
+  Table s({"serial", "fixed makespan", "governed makespan",
+           "governed speedup", "DVFS transitions", "busy cycles"});
+  for (const double serial : fracs) {
+    const auto& mf = result.find(sim_label(serial, false))->metrics;
+    const auto& mg = result.find(sim_label(serial, true))->metrics;
+    s.add_row({Table::percent(serial, 0), format_time(mf.makespan),
+               format_time(mg.makespan),
+               Table::num(static_cast<double>(mf.makespan) /
+                          static_cast<double>(mg.makespan)),
+               Table::num(static_cast<std::uint64_t>(
+                   mg.extra_or("dvfs_transitions"))),
+               Table::num(static_cast<std::uint64_t>(
+                   mg.extra_or("pmu.busy_cycles")))});
+  }
+  s.print("simulated 4-core fork-join: PMU-windowed governor vs fixed "
+          "400 MHz");
+
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto st =
+          harness::write_json("BENCH_e2_amdahl_boost.json", {result});
+      !st.ok())
+    std::printf("warning: %s\n", st.error().to_string().c_str());
+  std::printf("expected shape: unboosted analytic curves saturate at 1/s; "
+              "boosting raises\nthe asymptote by the boost factor. In "
+              "simulation the governor reads PMU\nutilization windows and "
+              "boosts the busy core, so the governed speedup grows\nwith "
+              "the serial fraction.\n");
   return 0;
 }

@@ -7,18 +7,26 @@
 // with overload while the data-driven executor's stays exactly zero; its
 // overload shows up only as source drops / sink underruns (where the
 // paper says applications are robust).
+//
+// Each (probability, trigger mode) cell is an independent rw::harness run;
+// the sweep fans out over the pool and lands in
+// BENCH_e3_trigger_robustness.json.
 #include <cstdio>
 #include <memory>
 
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "common/table.hpp"
 #include "dataflow/buffers.hpp"
 #include "dataflow/executor.hpp"
+#include "harness/harness.hpp"
 
 namespace {
 
-rw::dataflow::Graph car_radio() {
-  using namespace rw::dataflow;
+using namespace rw;
+using namespace rw::dataflow;
+
+Graph car_radio() {
   Graph g;
   const auto src = g.add_actor("src", 800, 0);
   const auto a = g.add_actor("demod", 20'000, 1);
@@ -32,12 +40,41 @@ rw::dataflow::Graph car_radio() {
   return g;
 }
 
+RunMetrics to_metrics(const ExecResult& r) {
+  RunMetrics m;
+  m.makespan = r.finish;
+  m.set_extra("firings", static_cast<double>(r.firings));
+  m.set_extra("stale_reads", static_cast<double>(r.stale_reads));
+  m.set_extra("overwrites", static_cast<double>(r.overwrites));
+  m.set_extra("internal_corruptions",
+              static_cast<double>(r.internal_corruptions()));
+  m.set_extra("source_drops", static_cast<double>(r.source_drops));
+  m.set_extra("sink_underruns", static_cast<double>(r.sink_underruns));
+  m.set_extra("sink_throughput_hz", r.sink_throughput_hz());
+  return m;
+}
+
+RunMetrics run_cell(const Graph& g, const ExecConfig& base, double prob,
+                    bool time_triggered, std::uint64_t seed) {
+  // The same seeded overrun pattern feeds both executors of a probability
+  // cell, so rows compare like with like.
+  auto rng = std::make_shared<Rng>(seed);
+  ExecConfig cfg = base;
+  cfg.acet = [rng, prob](const Actor& a, std::uint64_t, Cycles wcet) {
+    if (a.name == "src" || a.name == "snk") return wcet;
+    return rng->next_bool(prob) ? wcet * 3 : wcet;
+  };
+  return to_metrics(time_triggered ? run_time_triggered(g, cfg)
+                                   : run_data_driven(g, cfg));
+}
+
+std::string label(double prob, bool time_triggered) {
+  return strformat("%s_p%02.0f", time_triggered ? "tt" : "dd", prob * 100);
+}
+
 }  // namespace
 
 int main() {
-  using namespace rw;
-  using namespace rw::dataflow;
-
   const Graph g = car_radio();
   ExecConfig cfg;
   cfg.frequency = mhz(400);
@@ -46,33 +83,44 @@ int main() {
   cfg.iterations = 400;
   cfg.buffer_capacities = compute_buffer_capacities(g, cfg).capacities;
 
+  const double probs[] = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  harness::Scenario scenario("e3_trigger_robustness");
+  for (const double prob : probs)
+    for (const bool tt : {true, false})
+      scenario.add_run(label(prob, tt),
+                       [&g, &cfg, prob, tt](const harness::RunContext&) {
+                         // Fixed overrun seed (not ctx.seed): both modes of
+                         // a probability cell must see the same pattern.
+                         return run_cell(g, cfg, prob, tt, 1234);
+                       });
+  const auto result = harness::Runner().run(scenario);
+
   std::printf("E3: corruption under WCET-estimate violations "
               "(overrun = 3x WCET)\n");
   Table t({"overrun prob", "TT stale reads", "TT overwrites",
            "DD internal corrupt", "DD src drops", "DD sink underruns"});
-
-  for (const double prob :
-       {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
-    auto acet_for = [prob](std::uint64_t seed) -> ActorAcet {
-      auto rng = std::make_shared<Rng>(seed);
-      return [rng, prob](const Actor& a, std::uint64_t, Cycles wcet) {
-        if (a.name == "src" || a.name == "snk") return wcet;
-        return rng->next_bool(prob) ? wcet * 3 : wcet;
-      };
-    };
-    ExecConfig tt = cfg;
-    tt.acet = acet_for(1234);
-    const auto rt = run_time_triggered(g, tt);
-    ExecConfig dd = cfg;
-    dd.acet = acet_for(1234);
-    const auto rd = run_data_driven(g, dd);
-
-    t.add_row({Table::percent(prob, 0), Table::num(rt.stale_reads),
-               Table::num(rt.overwrites),
-               Table::num(rd.internal_corruptions()),
-               Table::num(rd.source_drops), Table::num(rd.sink_underruns)});
+  for (const double prob : probs) {
+    const auto& mt = result.find(label(prob, true))->metrics;
+    const auto& md = result.find(label(prob, false))->metrics;
+    t.add_row(
+        {Table::percent(prob, 0),
+         Table::num(static_cast<std::uint64_t>(mt.extra_or("stale_reads"))),
+         Table::num(static_cast<std::uint64_t>(mt.extra_or("overwrites"))),
+         Table::num(static_cast<std::uint64_t>(
+             md.extra_or("internal_corruptions"))),
+         Table::num(static_cast<std::uint64_t>(md.extra_or("source_drops"))),
+         Table::num(
+             static_cast<std::uint64_t>(md.extra_or("sink_underruns")))});
   }
   t.print("time-triggered vs data-driven, 400 iterations");
+  std::printf("harness: %zu runs on %zu threads in %.0fms\n",
+              result.runs.size(), result.threads_used,
+              static_cast<double>(result.wall_ns) / 1e6);
+  if (const auto s =
+          harness::write_json("BENCH_e3_trigger_robustness.json", {result});
+      !s.ok())
+    std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("expected shape: TT corruption grows from 0 with the overrun "
               "rate; DD internal\ncorruption is identically 0 — failures "
               "move to the robust source/sink boundary.\n");

@@ -1,0 +1,203 @@
+#include "perf/export.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "perf/session.hpp"
+
+namespace rw::perf {
+
+std::string to_chrome_trace(const std::vector<sim::TraceEvent>& trace) {
+  json::Writer w(/*pretty=*/false);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ns");
+  w.key("traceEvents").begin_array();
+  // Pair ComputeStart/ComputeEnd per core into "X" complete events. One
+  // block at a time per core, so a single open slot per core suffices.
+  struct Open {
+    TimePs start = 0;
+    std::string label;
+    bool live = false;
+  };
+  std::vector<Open> open;
+  for (const auto& ev : trace) {
+    if (!ev.core.is_valid()) continue;
+    const std::size_t c = ev.core.index();
+    if (c >= open.size()) open.resize(c + 1);
+    if (ev.kind == sim::TraceKind::kComputeStart) {
+      open[c] = Open{ev.time, ev.label, true};
+    } else if (ev.kind == sim::TraceKind::kComputeEnd && open[c].live &&
+               ev.label == open[c].label) {
+      w.begin_object();
+      w.key("name").value(ev.label);
+      w.key("cat").value("compute");
+      w.key("ph").value("X");
+      // Chrome trace timestamps are microseconds; 1 ps = 1e-6 us.
+      w.key("ts").value(static_cast<double>(open[c].start) * 1e-6);
+      w.key("dur").value(static_cast<double>(ev.time - open[c].start) * 1e-6);
+      w.key("pid").value(std::uint64_t{0});
+      w.key("tid").value(static_cast<std::uint64_t>(c));
+      w.end_object();
+      open[c].live = false;
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string to_folded_stacks(const SamplingProfiler::Profile& profile) {
+  std::string out;
+  for (const auto& e : profile.entries)
+    out += strformat("core%zu;%s %llu\n", e.core, e.label.c_str(),
+                     static_cast<unsigned long long>(e.samples));
+  return out;
+}
+
+std::string to_csv(const std::vector<Epoch>& epochs, std::size_t num_cores) {
+  std::string out =
+      "epoch,start_ps,end_ps,mean_util,busy_cycles,stall_cycles,mem_reads,"
+      "mem_writes,local_accesses,shared_accesses,icn_transfers,icn_bytes,"
+      "icn_wait_ps,icn_busy_ps,dma_bytes";
+  for (std::size_t c = 0; c < num_cores; ++c)
+    out += strformat(",core%zu_util", c);
+  out += "\n";
+  for (const auto& ep : epochs) {
+    CoreCounters t;
+    for (const auto& c : ep.cores) {
+      t.busy_cycles += c.busy_cycles;
+      t.stall_cycles += c.stall_cycles;
+      t.mem_reads += c.mem_reads;
+      t.mem_writes += c.mem_writes;
+      t.local_accesses += c.local_accesses;
+      t.shared_accesses += c.shared_accesses;
+    }
+    t.mem_reads += ep.unattributed.mem_reads;
+    t.mem_writes += ep.unattributed.mem_writes;
+    out += strformat(
+        "%zu,%llu,%llu,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu",
+        ep.index, static_cast<unsigned long long>(ep.start),
+        static_cast<unsigned long long>(ep.end), ep.mean_utilization(),
+        static_cast<unsigned long long>(t.busy_cycles),
+        static_cast<unsigned long long>(t.stall_cycles),
+        static_cast<unsigned long long>(t.mem_reads),
+        static_cast<unsigned long long>(t.mem_writes),
+        static_cast<unsigned long long>(t.local_accesses),
+        static_cast<unsigned long long>(t.shared_accesses),
+        static_cast<unsigned long long>(ep.icn.transfers),
+        static_cast<unsigned long long>(ep.icn.bytes),
+        static_cast<unsigned long long>(ep.icn.wait_ps),
+        static_cast<unsigned long long>(ep.icn.busy_ps),
+        static_cast<unsigned long long>(ep.dma.bytes));
+    for (std::size_t c = 0; c < num_cores; ++c) {
+      const double u =
+          c < ep.cores.size() && ep.width() > 0
+              ? static_cast<double>(ep.cores[c].busy_ps) /
+                    static_cast<double>(ep.width())
+              : 0.0;
+      out += strformat(",%.6f", u);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+void write_core_counters(json::Writer& w, const CoreCounters& c) {
+  w.begin_object();
+  w.key("busy_cycles").value(c.busy_cycles);
+  w.key("stall_cycles").value(c.stall_cycles);
+  w.key("instructions").value(c.approx_instructions());
+  w.key("busy_ps").value(c.busy_ps);
+  w.key("reservations").value(c.reservations);
+  w.key("compute_blocks").value(c.compute_blocks);
+  w.key("mem_reads").value(c.mem_reads);
+  w.key("mem_writes").value(c.mem_writes);
+  w.key("local_accesses").value(c.local_accesses);
+  w.key("shared_accesses").value(c.shared_accesses);
+  w.key("bytes_read").value(c.bytes_read);
+  w.key("bytes_written").value(c.bytes_written);
+  w.key("freq_changes").value(c.freq_changes);
+  w.end_object();
+}
+}  // namespace
+
+void write_report(json::Writer& w, const PerfReport& r) {
+  w.begin_object();
+  w.key("makespan_ps").value(r.makespan);
+  w.key("num_cores").value(static_cast<std::uint64_t>(r.num_cores));
+  w.key("mean_utilization").value(r.mean_utilization());
+
+  w.key("cores").begin_array();
+  for (const auto& c : r.pmu.cores) write_core_counters(w, c);
+  w.end_array();
+  w.key("unattributed");
+  write_core_counters(w, r.pmu.unattributed);
+
+  w.key("icn").begin_object();
+  w.key("transfers").value(r.pmu.icn.transfers);
+  w.key("bytes").value(r.pmu.icn.bytes);
+  w.key("wait_ps").value(r.pmu.icn.wait_ps);
+  w.key("busy_ps").value(r.pmu.icn.busy_ps);
+  w.key("hops").value(r.pmu.icn.hops);
+  w.key("link_busy_ps").begin_array();
+  for (const auto b : r.pmu.icn.link_busy_ps) w.value(b);
+  w.end_array();
+  w.end_object();
+
+  w.key("dma").begin_object();
+  w.key("transfers").value(r.pmu.dma.transfers);
+  w.key("bytes").value(r.pmu.dma.bytes);
+  w.key("busy_ps").value(r.pmu.dma.busy_ps);
+  w.end_object();
+
+  w.key("profile").begin_object();
+  w.key("period_ps").value(r.profiler_period);
+  w.key("ticks").value(r.profiler_ticks);
+  w.key("total_samples").value(r.profile.total_samples);
+  w.key("busy_samples").value(r.profile.busy_samples);
+  w.key("idle_samples").value(r.profile.idle_samples);
+  w.key("entries").begin_array();
+  for (const auto& e : r.profile.entries) {
+    w.begin_object();
+    w.key("core").value(static_cast<std::uint64_t>(e.core));
+    w.key("label").value(e.label);
+    w.key("samples").value(e.samples);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("epochs").begin_array();
+  for (const auto& ep : r.epochs) {
+    w.begin_object();
+    w.key("start_ps").value(ep.start);
+    w.key("end_ps").value(ep.end);
+    w.key("mean_util").value(ep.mean_utilization());
+    w.key("icn_bytes").value(ep.icn.bytes);
+    w.key("dma_bytes").value(ep.dma.bytes);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+std::string to_json(const PerfReport& r) {
+  json::Writer w;
+  write_report(w, r);
+  return w.str() + "\n";
+}
+
+bool write_text(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f.write(content.data(),
+          static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace rw::perf

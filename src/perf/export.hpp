@@ -1,0 +1,44 @@
+// Deterministic exporters for perf data.
+//
+// Three interchange formats, all pure functions of the report so repeated
+// runs produce byte-identical files:
+//   * Chrome trace-event JSON ("X" complete events) — load in a
+//     chrome://tracing / Perfetto timeline;
+//   * folded stacks ("core0;label count" lines) — pipe to flamegraph.pl;
+//   * CSV — one row per epoch, the counter time-series for spreadsheets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "perf/metrics.hpp"
+#include "perf/profiler.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::perf {
+
+struct PerfReport;  // session.hpp
+
+/// Chrome trace-event JSON built from ComputeStart/ComputeEnd trace pairs
+/// (pid 0, tid = core index, timestamps in microseconds).
+std::string to_chrome_trace(const std::vector<sim::TraceEvent>& trace);
+
+/// Folded-stack lines "core<i>;<label> <samples>", (core,label) ordered.
+std::string to_folded_stacks(const SamplingProfiler::Profile& profile);
+
+/// Counter time-series CSV: one row per epoch, totals plus per-core
+/// utilization columns.
+std::string to_csv(const std::vector<Epoch>& epochs, std::size_t num_cores);
+
+/// Full report as JSON (counter table + profile + epoch summaries).
+std::string to_json(const PerfReport& report);
+
+/// Emit the report object into an in-progress JSON document (the driver
+/// embeds reports in its combined doc; to_json wraps this).
+void write_report(json::Writer& w, const PerfReport& report);
+
+/// Write `content` to `path` byte-exactly; returns false on I/O failure.
+bool write_text(const std::string& path, const std::string& content);
+
+}  // namespace rw::perf

@@ -1,0 +1,103 @@
+#include "perf/metrics.hpp"
+
+namespace rw::perf {
+
+namespace {
+std::uint64_t sub(std::uint64_t b, std::uint64_t a) { return b > a ? b - a : 0; }
+}  // namespace
+
+CoreCounters delta(const CoreCounters& a, const CoreCounters& b) {
+  CoreCounters d;
+  d.busy_cycles = sub(b.busy_cycles, a.busy_cycles);
+  d.stall_cycles = sub(b.stall_cycles, a.stall_cycles);
+  d.busy_ps = sub(b.busy_ps, a.busy_ps);
+  d.reservations = sub(b.reservations, a.reservations);
+  d.compute_blocks = sub(b.compute_blocks, a.compute_blocks);
+  d.mem_reads = sub(b.mem_reads, a.mem_reads);
+  d.mem_writes = sub(b.mem_writes, a.mem_writes);
+  d.local_accesses = sub(b.local_accesses, a.local_accesses);
+  d.shared_accesses = sub(b.shared_accesses, a.shared_accesses);
+  d.bytes_read = sub(b.bytes_read, a.bytes_read);
+  d.bytes_written = sub(b.bytes_written, a.bytes_written);
+  d.freq_changes = sub(b.freq_changes, a.freq_changes);
+  return d;
+}
+
+IcnCounters delta(const IcnCounters& a, const IcnCounters& b) {
+  IcnCounters d;
+  d.transfers = sub(b.transfers, a.transfers);
+  d.bytes = sub(b.bytes, a.bytes);
+  d.wait_ps = sub(b.wait_ps, a.wait_ps);
+  d.busy_ps = sub(b.busy_ps, a.busy_ps);
+  d.hops = sub(b.hops, a.hops);
+  d.link_busy_ps.resize(b.link_busy_ps.size(), 0);
+  for (std::size_t i = 0; i < b.link_busy_ps.size(); ++i) {
+    const DurationPs prev = i < a.link_busy_ps.size() ? a.link_busy_ps[i] : 0;
+    d.link_busy_ps[i] = sub(b.link_busy_ps[i], prev);
+  }
+  return d;
+}
+
+DmaCounters delta(const DmaCounters& a, const DmaCounters& b) {
+  DmaCounters d;
+  d.transfers = sub(b.transfers, a.transfers);
+  d.bytes = sub(b.bytes, a.bytes);
+  d.busy_ps = sub(b.busy_ps, a.busy_ps);
+  return d;
+}
+
+double Epoch::mean_utilization() const {
+  if (cores.empty() || width() == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : cores)
+    sum += static_cast<double>(c.busy_ps) / static_cast<double>(width());
+  return sum / static_cast<double>(cores.size());
+}
+
+EpochCollector::EpochCollector(sim::Platform& platform, const Pmu& pmu,
+                               DurationPs width)
+    : platform_(platform), pmu_(pmu), width_(width) {
+  if (width_ == 0) width_ = microseconds(50);
+  prev_ = pmu_.snapshot(platform_.kernel().now());
+}
+
+void EpochCollector::start() {
+  if (started_) return;
+  started_ = true;
+  platform_.kernel().schedule_daemon_in(
+      width_, [this] { tick(); }, /*priority=*/110);
+}
+
+void EpochCollector::close_epoch(TimePs end) {
+  const PmuSnapshot cur = pmu_.snapshot(end);
+  Epoch ep;
+  ep.index = epochs_.size();
+  ep.start = prev_.at;
+  ep.end = end;
+  ep.cores.reserve(cur.cores.size());
+  for (std::size_t i = 0; i < cur.cores.size(); ++i) {
+    const CoreCounters prev_core =
+        i < prev_.cores.size() ? prev_.cores[i] : CoreCounters{};
+    ep.cores.push_back(delta(prev_core, cur.cores[i]));
+  }
+  ep.unattributed = delta(prev_.unattributed, cur.unattributed);
+  ep.icn = delta(prev_.icn, cur.icn);
+  ep.dma = delta(prev_.dma, cur.dma);
+  epochs_.push_back(std::move(ep));
+  prev_ = cur;
+}
+
+void EpochCollector::tick() {
+  auto& kernel = platform_.kernel();
+  close_epoch(kernel.now());
+  kernel.schedule_daemon_in(width_, [this] { tick(); }, /*priority=*/110);
+}
+
+void EpochCollector::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const TimePs now = platform_.kernel().now();
+  if (now > prev_.at) close_epoch(now);
+}
+
+}  // namespace rw::perf

@@ -1,0 +1,68 @@
+// Metrics pipeline: windowed counter time-series.
+//
+// The PMU accumulates totals; many questions (is the bus saturating *now*?
+// which phase starves core 2?) need rates instead. The EpochCollector
+// closes a fixed-width simulated-time window ("epoch") on a kernel tick,
+// snapshots the PMU, and stores the counter *delta* against the previous
+// boundary — a deterministic time-series the exporters turn into CSV and
+// the DVFS governor reads as utilization-per-window.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "perf/pmu.hpp"
+#include "sim/platform.hpp"
+
+namespace rw::perf {
+
+/// Field-wise counter deltas (b - a, saturating at zero for safety).
+CoreCounters delta(const CoreCounters& a, const CoreCounters& b);
+IcnCounters delta(const IcnCounters& a, const IcnCounters& b);
+DmaCounters delta(const DmaCounters& a, const DmaCounters& b);
+
+/// One closed window of counter activity.
+struct Epoch {
+  std::size_t index = 0;
+  TimePs start = 0;
+  TimePs end = 0;  // start + width, except a shorter final epoch
+  std::vector<CoreCounters> cores;  // per-core deltas within the window
+  CoreCounters unattributed;
+  IcnCounters icn;
+  DmaCounters dma;
+
+  [[nodiscard]] DurationPs width() const { return end - start; }
+  /// Mean busy fraction across cores within this window.
+  [[nodiscard]] double mean_utilization() const;
+
+  bool operator==(const Epoch&) const = default;
+};
+
+class EpochCollector {
+ public:
+  EpochCollector(sim::Platform& platform, const Pmu& pmu, DurationPs width);
+
+  /// Schedule the first boundary tick (idempotent).
+  void start();
+
+  /// Close the trailing partial window (if any activity happened after the
+  /// last boundary). Call after kernel.run() returns.
+  void finish();
+
+  [[nodiscard]] const std::vector<Epoch>& epochs() const { return epochs_; }
+  [[nodiscard]] DurationPs width() const { return width_; }
+
+ private:
+  void tick();
+  void close_epoch(TimePs end);
+
+  sim::Platform& platform_;
+  const Pmu& pmu_;
+  DurationPs width_;
+  bool started_ = false;
+  bool finished_ = false;
+  PmuSnapshot prev_;
+  std::vector<Epoch> epochs_;
+};
+
+}  // namespace rw::perf

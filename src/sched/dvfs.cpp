@@ -75,6 +75,13 @@ HertzT ReactiveGovernor::observe(double utilization) {
   return current_;
 }
 
+HertzT ReactiveGovernor::observe_window(DurationPs busy_ps,
+                                        DurationPs window_ps) {
+  if (window_ps == 0) return current_;
+  return observe(static_cast<double>(busy_ps) /
+                 static_cast<double>(window_ps));
+}
+
 double relative_energy_per_cycle(HertzT f, HertzT nominal) {
   if (nominal == 0) return 0.0;
   const double r = static_cast<double>(f) / static_cast<double>(nominal);

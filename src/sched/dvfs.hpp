@@ -49,6 +49,11 @@ class ReactiveGovernor {
   /// Observe utilization over the last window; returns the new frequency.
   HertzT observe(double utilization);
 
+  /// Observe a window measured in PMU terms — busy time within a window of
+  /// simulated time (the shape a perf::Epoch delta provides). A zero-width
+  /// window is a no-observation: the frequency is left unchanged.
+  HertzT observe_window(DurationPs busy_ps, DurationPs window_ps);
+
   [[nodiscard]] HertzT current() const { return current_; }
   [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
 

@@ -19,6 +19,7 @@ void Core::set_frequency(HertzT f) {
   if (f == freq_) return;
   tracer_.record(kernel_.now(), TraceKind::kFreqChange, id_, "dvfs", f,
                  freq_);
+  if (perf_) perf_->on_freq_change(id_, freq_, f);
   freq_ = f;
 }
 
@@ -33,6 +34,7 @@ std::pair<TimePs, TimePs> Core::reserve_from(TimePs earliest, Cycles cycles) {
   busy_until_ = finish;
   cycles_executed_ += cycles;
   busy_time_ += dur;
+  if (perf_) perf_->on_core_reserve(id_, cycles, start, finish, freq_);
   return {start, finish};
 }
 
@@ -46,9 +48,12 @@ void Core::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
     core.tracer_.record(core.kernel_.now(), TraceKind::kComputeStart,
                         core.id_, label, cycles, 0);
   });
-  core.kernel_.schedule_at(end, [this, h] {
+  core.kernel_.schedule_at(end, [this, h, start] {
     core.tracer_.record(core.kernel_.now(), TraceKind::kComputeEnd, core.id_,
                         label, cycles, 0);
+    if (core.perf_)
+      core.perf_->on_compute_block(core.id_, label, cycles, start,
+                                   core.kernel_.now());
     core.current_label_ = "<idle>";
     h.resume();
   });

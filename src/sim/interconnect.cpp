@@ -15,8 +15,7 @@ DurationPs SharedBus::transfer_duration(std::uint64_t bytes) const {
   return cycles_to_ps(cfg_.arbitration_cycles + beats, cfg_.frequency);
 }
 
-std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId /*src*/,
-                                                      CoreId /*dst*/,
+std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId src, CoreId dst,
                                                       std::uint64_t bytes,
                                                       TimePs earliest) {
   const TimePs ready = std::max(earliest, kernel_.now());
@@ -25,6 +24,11 @@ std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId /*src*/,
   const TimePs finish = start + transfer_duration(bytes);
   busy_until_ = finish;
   ++transfers_;
+  if (perf_) {
+    perf_->on_transfer(src, dst, bytes, start - ready, finish - start,
+                       /*hops=*/0);
+    perf_->on_link_busy(0, finish - start);
+  }
   return {start, finish};
 }
 
@@ -111,6 +115,7 @@ std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
   if (src == dst) {
     // Local delivery: no links used.
     ++transfers_;
+    if (perf_) perf_->on_transfer(src, dst, bytes, 0, 0, 0);
     return {ready, ready};
   }
   // Store-and-forward per hop: each link is reserved in sequence for the
@@ -119,6 +124,7 @@ std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
   TimePs t = ready;
   TimePs first_start = 0;
   bool first = true;
+  std::uint32_t hops = 0;
   for (const std::size_t link : route(src, dst)) {
     const TimePs start = std::max(t, link_busy_until_[link]);
     if (first) {
@@ -128,9 +134,14 @@ std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
     }
     const TimePs done = start + ser + cfg_.hop_latency;
     link_busy_until_[link] = done;
+    if (perf_) perf_->on_link_busy(link, done - start);
     t = done;
+    ++hops;
   }
   ++transfers_;
+  if (perf_)
+    perf_->on_transfer(src, dst, bytes, first_start - ready, t - first_start,
+                       hops);
   return {first_start, t};
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/units.hpp"
 #include "sim/kernel.hpp"
+#include "sim/perf_hooks.hpp"
 #include "sim/trace.hpp"
 
 namespace rw::sim {
@@ -41,9 +42,13 @@ class Interconnect {
   [[nodiscard]] DurationPs total_contention() const { return contention_; }
   [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
 
+  /// PMU observation point; nullptr (the default) disables all hooks.
+  void set_perf_sink(PerfSink* sink) { perf_ = sink; }
+
  protected:
   DurationPs contention_ = 0;
   std::uint64_t transfers_ = 0;
+  PerfSink* perf_ = nullptr;
 };
 
 /// Single shared bus: every transfer serializes through one arbiter —

@@ -5,14 +5,27 @@
 
 namespace rw::sim {
 
-void Kernel::schedule_at(TimePs t, EventFn fn, int priority) {
+void Kernel::push(TimePs t, EventFn fn, int priority, bool daemon) {
   if (t < now_)
     throw std::logic_error("Kernel::schedule_at: time travels backwards");
-  queue_.push(Entry{t, priority, seq_++, std::move(fn)});
+  queue_.push(Entry{t, priority, seq_++, std::move(fn), daemon});
+  if (!daemon) ++live_;
+}
+
+void Kernel::schedule_at(TimePs t, EventFn fn, int priority) {
+  push(t, std::move(fn), priority, /*daemon=*/false);
 }
 
 void Kernel::schedule_in(DurationPs d, EventFn fn, int priority) {
-  schedule_at(now_ + d, std::move(fn), priority);
+  push(now_ + d, std::move(fn), priority, /*daemon=*/false);
+}
+
+void Kernel::schedule_daemon_at(TimePs t, EventFn fn, int priority) {
+  push(t, std::move(fn), priority, /*daemon=*/true);
+}
+
+void Kernel::schedule_daemon_in(DurationPs d, EventFn fn, int priority) {
+  push(now_ + d, std::move(fn), priority, /*daemon=*/true);
 }
 
 bool Kernel::step() {
@@ -20,6 +33,7 @@ bool Kernel::step() {
   // Copy out before pop: the handler may schedule new events.
   Entry e = queue_.top();
   queue_.pop();
+  if (!e.daemon) --live_;
   assert(e.time >= now_);
   now_ = e.time;
   ++executed_;
@@ -30,7 +44,9 @@ bool Kernel::step() {
 void Kernel::run(std::uint64_t max_events) {
   stop_requested_ = false;
   std::uint64_t budget = max_events;
-  while (budget-- > 0 && !stop_requested_ && step()) {
+  // Stop once only daemons remain: observers never keep the model alive,
+  // and the simulated end time stays that of the last live event.
+  while (budget-- > 0 && !stop_requested_ && live_ > 0 && step()) {
   }
 }
 

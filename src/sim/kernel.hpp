@@ -40,6 +40,15 @@ class Kernel {
   /// Schedule `fn` after a relative delay.
   void schedule_in(DurationPs d, EventFn fn, int priority = 0);
 
+  /// Daemon events: periodic observers (samplers, counter windows, DVFS
+  /// governors) that must not keep the simulation alive on their own.
+  /// run() returns once only daemon events remain, leaving them pending —
+  /// so a self-rescheduling daemon still lets the queue drain, and two
+  /// daemons cannot keep each other alive. Ordering among executed events
+  /// is the same (time, priority, seq) relation as for normal events.
+  void schedule_daemon_at(TimePs t, EventFn fn, int priority = 0);
+  void schedule_daemon_in(DurationPs d, EventFn fn, int priority = 0);
+
   /// Execute the single next event. Returns false when the queue is empty.
   bool step();
 
@@ -59,6 +68,9 @@ class Kernel {
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] bool empty() const { return queue_.empty(); }
 
+  /// Pending non-daemon events (run()'s liveness condition).
+  [[nodiscard]] std::size_t live_events() const { return live_; }
+
   /// Timestamp of the next pending event; UINT64_MAX when empty.
   [[nodiscard]] TimePs next_event_time() const {
     return queue_.empty() ? UINT64_MAX : queue_.top().time;
@@ -76,6 +88,7 @@ class Kernel {
     int priority;
     std::uint64_t seq;
     EventFn fn;
+    bool daemon = false;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -85,8 +98,11 @@ class Kernel {
     }
   };
 
+  void push(TimePs t, EventFn fn, int priority, bool daemon);
+
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   TimePs now_ = 0;
+  std::size_t live_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;

@@ -74,6 +74,7 @@ std::uint64_t MemorySystem::read_u64(CoreId core, Addr a) {
   std::uint64_t v = 0;
   std::memcpy(&v, r.bytes.data() + (a - r.base), 8);
   tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  count_access(r, core, /*is_write=*/false, 8);
   notify(MemAccess{kernel_.now(), core, a, 8, false, v});
   return v;
 }
@@ -82,6 +83,7 @@ void MemorySystem::write_u64(CoreId core, Addr a, std::uint64_t v) {
   Region& r = region_for(a, 8, core, /*is_write=*/true);
   std::memcpy(r.bytes.data() + (a - r.base), &v, 8);
   tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  count_access(r, core, /*is_write=*/true, 8);
   notify(MemAccess{kernel_.now(), core, a, 8, true, v});
 }
 
@@ -90,6 +92,7 @@ std::uint32_t MemorySystem::read_u32(CoreId core, Addr a) {
   std::uint32_t v = 0;
   std::memcpy(&v, r.bytes.data() + (a - r.base), 4);
   tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  count_access(r, core, /*is_write=*/false, 4);
   notify(MemAccess{kernel_.now(), core, a, 4, false, v});
   return v;
 }
@@ -98,6 +101,7 @@ void MemorySystem::write_u32(CoreId core, Addr a, std::uint32_t v) {
   Region& r = region_for(a, 4, core, /*is_write=*/true);
   std::memcpy(r.bytes.data() + (a - r.base), &v, 4);
   tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  count_access(r, core, /*is_write=*/true, 4);
   notify(MemAccess{kernel_.now(), core, a, 4, true, v});
 }
 
@@ -107,6 +111,8 @@ void MemorySystem::read_block(CoreId core, Addr a,
   std::memcpy(out.data(), r.bytes.data() + (a - r.base), out.size());
   tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a,
                  out.size());
+  count_access(r, core, /*is_write=*/false,
+               static_cast<std::uint32_t>(out.size()));
   notify(MemAccess{kernel_.now(), core, a,
                    static_cast<std::uint32_t>(out.size()), false, 0});
 }
@@ -117,6 +123,8 @@ void MemorySystem::write_block(CoreId core, Addr a,
   std::memcpy(r.bytes.data() + (a - r.base), in.data(), in.size());
   tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a,
                  in.size());
+  count_access(r, core, /*is_write=*/true,
+               static_cast<std::uint32_t>(in.size()));
   notify(MemAccess{kernel_.now(), core, a,
                    static_cast<std::uint32_t>(in.size()), true, 0});
 }

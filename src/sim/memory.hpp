@@ -19,6 +19,7 @@
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "sim/kernel.hpp"
+#include "sim/perf_hooks.hpp"
 #include "sim/trace.hpp"
 
 namespace rw::sim {
@@ -109,12 +110,23 @@ class MemorySystem {
   void poke(Addr a, std::span<const std::uint8_t> in);
   void peek(Addr a, std::span<std::uint8_t> out) const;
 
+  /// PMU observation point; nullptr (the default) disables all hooks.
+  /// poke/peek are loader back-doors and are deliberately not counted.
+  void set_perf_sink(PerfSink* sink) { perf_ = sink; }
+
  private:
   Region& region_for(Addr a, std::uint64_t len, CoreId core, bool is_write);
   void notify(const MemAccess& acc);
+  void count_access(const Region& r, CoreId core, bool is_write,
+                    std::uint32_t bytes) {
+    if (perf_)
+      perf_->on_mem_access(core, is_write, r.is_local() && r.owner == core,
+                           bytes, r.access_latency);
+  }
 
   Kernel& kernel_;
   Tracer& tracer_;
+  PerfSink* perf_ = nullptr;
   std::vector<Region> regions_;
   std::vector<Observer> observers_;
   bool enforce_locality_ = false;

@@ -1,0 +1,89 @@
+// Performance-monitoring hooks for the virtual platform.
+//
+// Sec. VII's core argument for virtual platforms is *non-intrusive
+// observability*: "hardware and software tracing capabilities" that real
+// silicon cannot offer without perturbing the system under test. PerfSink
+// is the observation boundary that makes this true by construction — sim
+// components call into an attached sink at the points a hardware PMU would
+// count (core reservations, memory accesses, fabric transfers, DMA), and
+// every call site is guarded by a nullable pointer:
+//
+//   if (perf_) perf_->on_core_reserve(...);
+//
+// With no sink attached the hook is a single predictable branch and the
+// simulation state is bit-identical to a build that never heard of
+// performance counters (tests/test_perf_pmu.cpp holds replay fingerprints
+// and RunMetrics to that). The sim layer depends only on this interface;
+// the actual counters live in rw::perf, which depends on sim — never the
+// other way around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "sim/trace.hpp"
+
+namespace rw::sim {
+
+/// Observation interface implemented by rw::perf::Pmu. All methods have
+/// empty default bodies so sinks override only what they count. Sinks must
+/// not mutate simulation state from a hook (they see const facts about
+/// decisions already taken) — that is what keeps attachment zero-overhead.
+class PerfSink {
+ public:
+  virtual ~PerfSink() = default;
+
+  // --- core ---
+  /// Core `core` reserved `cycles` of work over [start, finish] at clock
+  /// `freq`. Fires for every reservation path (compute awaitables and
+  /// direct reserve_from callers such as the MAPS replayer).
+  virtual void on_core_reserve(CoreId core, Cycles cycles, TimePs start,
+                               TimePs finish, HertzT freq) {
+    (void)core, (void)cycles, (void)start, (void)finish, (void)freq;
+  }
+  /// A labelled compute block retired (fires at the block's end event, so
+  /// the timestamps are final). Start/finish bracket the whole block.
+  virtual void on_compute_block(CoreId core, const std::string& label,
+                                Cycles cycles, TimePs start, TimePs finish) {
+    (void)core, (void)label, (void)cycles, (void)start, (void)finish;
+  }
+  /// DVFS transition on `core`.
+  virtual void on_freq_change(CoreId core, HertzT from, HertzT to) {
+    (void)core, (void)from, (void)to;
+  }
+
+  // --- memory ---
+  /// One memory access. `local` is true for the accessing core's own
+  /// scratchpad; `latency` is the region's access latency in core cycles
+  /// (the stall the access costs a blocking core).
+  virtual void on_mem_access(CoreId core, bool is_write, bool local,
+                             std::uint32_t bytes, Cycles latency) {
+    (void)core, (void)is_write, (void)local, (void)bytes, (void)latency;
+  }
+
+  // --- interconnect ---
+  /// One fabric transfer. `wait` is time spent queued behind prior traffic
+  /// (the contention the paper's "centralized constructs" warning is
+  /// about); `duration` is occupancy from grant to delivery; `hops` is the
+  /// NoC route length (0 on a shared bus).
+  virtual void on_transfer(CoreId src, CoreId dst, std::uint64_t bytes,
+                           DurationPs wait, DurationPs duration,
+                           std::uint32_t hops) {
+    (void)src, (void)dst, (void)bytes, (void)wait, (void)duration,
+        (void)hops;
+  }
+  /// One directed NoC link was occupied for `busy` ps (fires per hop; the
+  /// shared bus reports itself as link 0).
+  virtual void on_link_busy(std::size_t link, DurationPs busy) {
+    (void)link, (void)busy;
+  }
+
+  // --- DMA ---
+  /// One DMA block copy completed its reservation over [start, finish].
+  virtual void on_dma(std::uint64_t bytes, TimePs start, TimePs finish) {
+    (void)bytes, (void)start, (void)finish;
+  }
+};
+
+}  // namespace rw::sim

@@ -230,18 +230,20 @@ void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
     finish += nanoseconds(len);  // fallback: 1 byte/ns
   }
 
-  kernel_.schedule_at(finish, [this, done = std::move(on_done)] {
-    std::vector<std::uint8_t> buf(len_);
-    memory_.read_block(CoreId{}, src_, buf);
-    memory_.write_block(CoreId{}, dst_, buf);
-    busy_ = false;
-    ++done_count_;
-    busy_signal_.lower();
-    tracer_.record(kernel_.now(), TraceKind::kDmaEnd, CoreId{}, name(), dst_,
-                   len_);
-    irqc_.raise(irq_line_);
-    if (done) done();
-  });
+  kernel_.schedule_at(
+      finish, [this, started = kernel_.now(), done = std::move(on_done)] {
+        std::vector<std::uint8_t> buf(len_);
+        memory_.read_block(CoreId{}, src_, buf);
+        memory_.write_block(CoreId{}, dst_, buf);
+        busy_ = false;
+        ++done_count_;
+        busy_signal_.lower();
+        tracer_.record(kernel_.now(), TraceKind::kDmaEnd, CoreId{}, name(),
+                       dst_, len_);
+        if (perf_) perf_->on_dma(len_, started, kernel_.now());
+        irqc_.raise(irq_line_);
+        if (done) done();
+      });
 }
 
 std::uint64_t DmaEngine::read_reg(std::size_t index) const {

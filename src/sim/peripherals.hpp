@@ -17,6 +17,7 @@
 #include "common/units.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
+#include "sim/perf_hooks.hpp"
 #include "sim/signal.hpp"
 #include "sim/trace.hpp"
 
@@ -160,6 +161,9 @@ class DmaEngine final : public Peripheral {
   [[nodiscard]] bool busy() const { return busy_; }
   Signal& busy_signal() { return busy_signal_; }
 
+  /// PMU observation point; nullptr (the default) disables all hooks.
+  void set_perf_sink(PerfSink* sink) { perf_ = sink; }
+
   std::uint64_t read_reg(std::size_t index) const override;
   void write_reg(std::size_t index, std::uint64_t value) override;
   std::vector<RegInfo> registers() const override;
@@ -177,6 +181,7 @@ class DmaEngine final : public Peripheral {
   std::uint64_t len_ = 0;
   std::uint64_t done_count_ = 0;
   Signal busy_signal_;
+  PerfSink* perf_ = nullptr;
 };
 
 /// Bank of hardware test-and-set semaphores (one register per cell).

@@ -69,4 +69,11 @@ std::vector<Peripheral*> Platform::peripherals() {
   return {irqc_.get(), timer_.get(), dma_.get(), hwsem_.get()};
 }
 
+void Platform::set_perf_sink(PerfSink* sink) {
+  for (auto& c : cores_) c->set_perf_sink(sink);
+  memory_.set_perf_sink(sink);
+  icn_->set_perf_sink(sink);
+  dma_->set_perf_sink(sink);
+}
+
 }  // namespace rw::sim

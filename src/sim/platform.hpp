@@ -88,6 +88,12 @@ class Platform {
   /// All peripherals, for the debugger's register view.
   [[nodiscard]] std::vector<Peripheral*> peripherals();
 
+  /// Attach/detach a PMU observation sink on every instrumented component
+  /// (cores, memory, interconnect, DMA). Passing nullptr detaches; with no
+  /// sink attached every hook site reduces to one null check and the
+  /// simulation is bit-identical to an unobserved run.
+  void set_perf_sink(PerfSink* sink);
+
   [[nodiscard]] const PlatformConfig& config() const { return cfg_; }
 
  private:

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "harness/harness.hpp"
+#include "perf/driver.hpp"
+#include "perf/export.hpp"
+#include "perf/session.hpp"
+#include "perf/workload.hpp"
+#include "sim/platform.hpp"
+
+namespace rw::perf {
+namespace {
+
+std::unique_ptr<sim::Platform> make_platform(std::size_t cores = 4) {
+  auto cfg = sim::PlatformConfig::homogeneous(cores, mhz(400));
+  cfg.trace_enabled = true;
+  return std::make_unique<sim::Platform>(std::move(cfg));
+}
+
+struct Exports {
+  std::string json, chrome, folded, csv;
+};
+
+Exports run_and_export(const char* workload) {
+  auto plat = make_platform();
+  PerfConfig cfg;
+  cfg.profiler.period = microseconds(5);
+  cfg.epoch_width = microseconds(25);
+  PerfSession session(*plat, cfg);
+  spawn_workload(workload, *plat, /*seed=*/9, /*scale=*/2);
+  plat->kernel().run();
+  const PerfReport report = session.report();
+  Exports e;
+  e.json = to_json(report);
+  e.chrome = to_chrome_trace(plat->tracer().events());
+  e.folded = to_folded_stacks(report.profile);
+  e.csv = to_csv(report.epochs, report.num_cores);
+  return e;
+}
+
+// The headline determinism claim: every export format is a pure function
+// of the workload, byte for byte, across two fresh identical runs.
+TEST(ExportTest, AllFormatsByteIdenticalAcrossRuns) {
+  const Exports a = run_and_export("pipeline");
+  const Exports b = run_and_export("pipeline");
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.chrome, b.chrome);
+  EXPECT_EQ(a.folded, b.folded);
+  EXPECT_EQ(a.csv, b.csv);
+}
+
+TEST(ExportTest, ChromeTraceIsWellFormedJson) {
+  const Exports e = run_and_export("forkjoin");
+  // Minimal structural checks on the trace-event doc: an array of "X"
+  // complete events with the fields Perfetto requires.
+  EXPECT_EQ(e.chrome.front(), '{');
+  EXPECT_NE(e.chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(e.chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(e.chrome.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(e.chrome.find("\"serial\""), std::string::npos);  // a label
+}
+
+TEST(ExportTest, FoldedStacksCarryCorePrefixedLabels) {
+  const Exports e = run_and_export("forkjoin");
+  EXPECT_NE(e.folded.find("core0;serial "), std::string::npos);
+  EXPECT_NE(e.folded.find(";parallel "), std::string::npos);
+  // Every line is "stack count\n".
+  std::istringstream in(e.folded);
+  std::string stack;
+  std::uint64_t count = 0;
+  std::size_t lines = 0;
+  while (in >> stack >> count) {
+    EXPECT_NE(stack.find("core"), std::string::npos);
+    EXPECT_GT(count, 0u);
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(ExportTest, CsvHasHeaderPlusOneRowPerEpoch) {
+  auto plat = make_platform(2);
+  PerfConfig cfg;
+  cfg.profile = false;
+  cfg.epoch_width = microseconds(25);
+  PerfSession session(*plat, cfg);
+  spawn_workload("shared_hammer", *plat, 2, 1);
+  plat->kernel().run();
+  const PerfReport report = session.report();
+  const std::string csv = to_csv(report.epochs, report.num_cores);
+
+  std::size_t newlines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++newlines;
+  EXPECT_EQ(newlines, report.epochs.size() + 1);
+  EXPECT_EQ(csv.rfind("epoch,start_ps,end_ps", 0), 0u);
+  EXPECT_NE(csv.find("core0_util"), std::string::npos);
+  EXPECT_NE(csv.find("core1_util"), std::string::npos);
+}
+
+TEST(ExportTest, EmptyInputsProduceValidSkeletons) {
+  EXPECT_EQ(to_chrome_trace({}),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n");
+  SamplingProfiler::Profile p;
+  EXPECT_EQ(to_folded_stacks(p), "");
+  const std::string csv = to_csv({}, 2);
+  EXPECT_EQ(csv.rfind("epoch,", 0), 0u);  // header only
+}
+
+// Harness integration: the exports ride RunMetrics extras (as a split
+// 64-bit FNV hash) and must be identical whether the harness fans runs
+// out over threads or runs them serially.
+TEST(ExportTest, HarnessSerialAndParallelProduceSameExports) {
+  auto scenario = [] {
+    harness::Scenario s("perf_export_determinism");
+    for (const char* w : {"pipeline", "forkjoin"})
+      s.add_run(w, [w](const harness::RunContext&) {
+        const Exports e = run_and_export(w);
+        std::uint64_t h = 1469598103934665603ull;  // FNV-1a over all exports
+        for (const std::string* doc : {&e.json, &e.chrome, &e.folded, &e.csv})
+          for (const char c : *doc) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull;
+          }
+        RunMetrics m;
+        m.set_extra("export_hash_lo", static_cast<double>(h & 0xffffffffull));
+        m.set_extra("export_hash_hi", static_cast<double>(h >> 32));
+        return m;
+      });
+    return s;
+  };
+  const auto serial = harness::Runner({.threads = 1}).run(scenario());
+  const auto parallel = harness::Runner({.threads = 4}).run(scenario());
+  EXPECT_TRUE(serial.sim_equal(parallel));
+}
+
+TEST(DriverTest, ListPrintsRegistryAndExitsZero) {
+  const auto opts = parse_prof_args({"--list"});
+  ASSERT_TRUE(opts.ok());
+  std::ostringstream out;
+  const auto report = run_prof(opts.value(), out);
+  EXPECT_EQ(report.exit_code, 0);
+  for (const auto& w : workload_registry())
+    EXPECT_NE(out.str().find(w.name), std::string::npos);
+}
+
+TEST(DriverTest, ParseRejectsUnknownOptionsAndWorkloads) {
+  EXPECT_FALSE(parse_prof_args({"--bogus"}).ok());
+  EXPECT_FALSE(parse_prof_args({"not_a_workload"}).ok());
+  EXPECT_FALSE(parse_prof_args({"--cores"}).ok());  // missing value
+  const auto ok = parse_prof_args({"--governor", "--mesh", "--cores", "9",
+                                   "--seed", "3", "--scale", "2",
+                                   "--period-us", "7", "--epoch-us", "40",
+                                   "--no-files", "pipeline"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value().governor);
+  EXPECT_TRUE(ok.value().mesh);
+  EXPECT_EQ(ok.value().cores, 9u);
+  EXPECT_EQ(ok.value().period, microseconds(7));
+  EXPECT_FALSE(ok.value().write_files);
+  ASSERT_EQ(ok.value().workloads.size(), 1u);
+}
+
+TEST(DriverTest, JsonOutputIsDeterministic) {
+  auto run_json = [] {
+    auto opts = parse_prof_args({"--json", "--no-files", "--scale", "1",
+                                 "pipeline"});
+    EXPECT_TRUE(opts.ok());
+    std::ostringstream out;
+    const auto report = run_prof(opts.value(), out);
+    EXPECT_EQ(report.exit_code, 0);
+    return out.str();
+  };
+  const std::string a = run_json();
+  EXPECT_EQ(a, run_json());
+  EXPECT_NE(a.find("\"schema\": \"rw-perf-run-1\""), std::string::npos);
+  EXPECT_NE(a.find("\"workload\": \"pipeline\""), std::string::npos);
+}
+
+TEST(DriverTest, GovernorRunReportsTransitions) {
+  auto opts = parse_prof_args({"--governor", "--no-files", "--scale", "1",
+                               "forkjoin"});
+  ASSERT_TRUE(opts.ok());
+  std::ostringstream out;
+  const auto report = run_prof(opts.value(), out);
+  EXPECT_EQ(report.exit_code, 0);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_GT(report.outcomes[0].governor_transitions, 0u);
+  // The governed run still produced a full perf report.
+  EXPECT_GT(report.outcomes[0].report.totals().busy_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace rw::perf

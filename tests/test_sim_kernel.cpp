@@ -108,6 +108,71 @@ TEST(Kernel, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(k.step());
 }
 
+TEST(Kernel, DaemonEventsDoNotKeepRunAlive) {
+  Kernel k;
+  int live_fired = 0, daemon_fired = 0;
+  // A self-rescheduling daemon: without daemon semantics run() would spin
+  // on it forever.
+  std::function<void()> observer = [&] {
+    ++daemon_fired;
+    k.schedule_daemon_in(10, observer);
+  };
+  k.schedule_daemon_at(0, observer);
+  k.schedule_at(35, [&] { ++live_fired; });
+  k.run();
+  EXPECT_EQ(live_fired, 1);
+  // Daemons at t=0,10,20,30 ran; the t=40 one stayed pending.
+  EXPECT_EQ(daemon_fired, 4);
+  EXPECT_EQ(k.now(), 35u);
+  EXPECT_EQ(k.live_events(), 0u);
+  EXPECT_FALSE(k.empty());  // the pending daemon is still queued
+}
+
+TEST(Kernel, RunWithOnlyDaemonsReturnsImmediately) {
+  Kernel k;
+  int fired = 0;
+  k.schedule_daemon_at(5, [&] { ++fired; });
+  k.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(k.now(), 0u);
+}
+
+TEST(Kernel, DaemonsExecuteWithinRunUntilHorizon) {
+  Kernel k;
+  std::vector<TimePs> ticks;
+  std::function<void()> observer = [&] {
+    ticks.push_back(k.now());
+    k.schedule_daemon_in(10, observer);
+  };
+  k.schedule_daemon_at(10, observer);
+  k.run_until(35);
+  EXPECT_EQ(ticks, (std::vector<TimePs>{10, 20, 30}));
+  EXPECT_EQ(k.now(), 35u);
+}
+
+TEST(Kernel, LiveEventsTracksOnlyNonDaemons) {
+  Kernel k;
+  k.schedule_at(10, [] {});
+  k.schedule_at(20, [] {});
+  k.schedule_daemon_at(15, [] {});
+  EXPECT_EQ(k.live_events(), 2u);
+  k.run();
+  EXPECT_EQ(k.live_events(), 0u);
+}
+
+TEST(Kernel, RunStopsAtLastLiveEventEvenWithTiedDaemon) {
+  Kernel k;
+  std::vector<int> order;
+  // A daemon tied with the final live event never runs: run() returns the
+  // moment the last live event retires, so makespans are unaffected by
+  // attached observers.
+  k.schedule_daemon_at(10, [&] { order.push_back(2); }, /*priority=*/100);
+  k.schedule_at(10, [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(k.now(), 10u);
+}
+
 TEST(Kernel, DeterministicEventOrderAcrossRuns) {
   auto run_once = [] {
     Kernel k;

@@ -114,5 +114,42 @@ TEST_F(TraceExportTest, VcdTimeMonotonicity) {
   }
 }
 
+// Determinism: two fresh, identically-configured runs must replay to
+// byte-identical VCD and Gantt renderings — the property that makes the
+// exports diffable artifacts rather than one-off dumps.
+TEST(TraceExportDeterminism, VcdAndGanttByteIdenticalAcrossRuns) {
+  auto run_once = [](std::string& vcd, std::string& gantt) {
+    auto cfg = sim::PlatformConfig::homogeneous(2, ghz(1));
+    cfg.trace_enabled = true;
+    sim::Platform p(std::move(cfg));
+    sim::spawn(p.kernel(), busy_task(p, 0, 10'000, "fir", 3));
+    sim::spawn(p.kernel(), busy_task(p, 1, 5'000, "iir", 4));
+    p.kernel().run();
+    vcd = export_vcd(p.tracer().events(), 2);
+    gantt = render_gantt(p.tracer().events(), 2, 0, p.kernel().now(), 60);
+  };
+  std::string vcd_a, gantt_a, vcd_b, gantt_b;
+  run_once(vcd_a, gantt_a);
+  run_once(vcd_b, gantt_b);
+  EXPECT_FALSE(vcd_a.empty());
+  EXPECT_FALSE(gantt_a.empty());
+  EXPECT_EQ(vcd_a, vcd_b);
+  EXPECT_EQ(gantt_a, gantt_b);
+}
+
+TEST(TraceExportDeterminism, EmptyTraceVcdIsValidSkeleton) {
+  const std::string vcd = export_vcd({}, 2);
+  // Header and variable declarations must still be present, with no
+  // value-change records after $enddefinitions.
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("core0_busy"), std::string::npos);
+  EXPECT_NE(vcd.find("core1_busy"), std::string::npos);
+  const auto defs_end = vcd.find("$enddefinitions $end");
+  ASSERT_NE(defs_end, std::string::npos);
+  // Identical on repeat, trivially — but assert it anyway so the empty
+  // path stays in the determinism contract.
+  EXPECT_EQ(vcd, export_vcd({}, 2));
+}
+
 }  // namespace
 }  // namespace rw::vpdebug
