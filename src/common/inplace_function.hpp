@@ -1,0 +1,138 @@
+// Small-buffer-optimized callable: the kernel-owned replacement for
+// std::function on the event hot path.
+//
+// Every simulation event is a one-shot closure; profiling showed the
+// dominant kernel cost was std::function's heap allocation per capture
+// plus its manager indirections during priority-queue sifts. An
+// InplaceFunction stores the callable inline in a fixed buffer (48 bytes
+// covers every capture the simulator's call sites create: coroutine
+// handles, `this` pointers, a generation counter, a couple of integers)
+// and only falls back to the heap above the buffer size. It is move-only
+// — events are consumed exactly once — which also admits move-only
+// captures (std::unique_ptr and friends) that std::function rejects.
+#pragma once
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rw::common {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;  // primary template intentionally undefined
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  /// True when a callable of type F is stored in the inline buffer (no
+  /// heap allocation). Exposed so tests and benches can assert that the
+  /// captures they care about stay on the fast path.
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InplaceFunction() noexcept = default;
+  InplaceFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(runtime/explicit)
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &InlineHandler<D>::kVTable;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &HeapHandler<D>::kVTable;
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { move_from(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    if (vt_ == nullptr) throw std::bad_function_call();
+    return vt_->invoke(const_cast<std::byte*>(buf_),
+                       std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* obj, Args&&... args);
+    // Move-construct *src into dst, then destroy *src (a "relocate": the
+    // only move the event queue ever needs).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj) noexcept;
+  };
+
+  template <typename F>
+  struct InlineHandler {
+    static R invoke(void* obj, Args&&... args) {
+      return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* obj) noexcept { static_cast<F*>(obj)->~F(); }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapHandler {
+    static F*& slot(void* obj) { return *static_cast<F**>(obj); }
+    static R invoke(void* obj, Args&&... args) {
+      return (*slot(obj))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(slot(src));
+    }
+    static void destroy(void* obj) noexcept { delete slot(obj); }
+    static constexpr VTable kVTable{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InplaceFunction& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(buf_, other.buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace rw::common

@@ -6,29 +6,66 @@
 // posting events here. Determinism is a design requirement — two runs with
 // the same seed must produce identical event orders (the foundation of the
 // non-intrusive-debugging claims) — so ties in time are broken by an
-// explicit priority and then by insertion sequence, never by heap
+// explicit priority and then by insertion sequence, never by queue
 // implementation details.
+//
+// Hot-path design (see DESIGN.md "Kernel internals"):
+//   * EventFn is an SBO callable (InplaceFunction<void(), 48>): every
+//     capture the simulator creates fits inline, so scheduling an event
+//     allocates nothing.
+//   * Callables live in a pooled, free-listed Entry array; the queues
+//     order 24-byte trivially-copyable Node records (time, seq, priority,
+//     pool index), so sifts never move a closure.
+//   * QueuePolicy::kCalendar (the default) is a two-tier queue: a bucketed
+//     near-term calendar wheel covering a configurable horizon plus a
+//     spill heap for far-future events, giving O(1) amortized scheduling
+//     on dense workloads. QueuePolicy::kBinaryHeap keeps the original
+//     single binary heap (callable stored inside the heap entry) as the
+//     baseline; both produce bit-identical execution orders.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/inplace_function.hpp"
 #include "common/units.hpp"
 
 namespace rw::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = common::InplaceFunction<void(), 48>;
+
+/// Event-queue implementation selector. kCalendar is the production fast
+/// path; kBinaryHeap is the original implementation, kept selectable so
+/// tests and benches can prove the two orders and fingerprints identical.
+enum class QueuePolicy { kCalendar, kBinaryHeap };
+
+[[nodiscard]] const char* queue_policy_name(QueuePolicy p);
+
+struct KernelConfig {
+  QueuePolicy policy = QueuePolicy::kCalendar;
+  /// Calendar bucket width is 2^bucket_width_log2 picoseconds and the
+  /// wheel spans 2^num_buckets_log2 buckets; events beyond
+  /// `now + width * buckets` (the horizon) wait in the spill heap. The
+  /// defaults (4 ns buckets, 1024 of them ≈ 4.2 us horizon) fit the
+  /// platform model's event mix: same-delta resumes and ns-scale delays
+  /// hit the wheel, multi-us compute blocks spill and migrate on rebase.
+  std::uint32_t bucket_width_log2 = 12;
+  std::uint32_t num_buckets_log2 = 10;
+};
 
 /// Central event queue and simulated clock.
 class Kernel {
  public:
-  Kernel() = default;
+  Kernel() : Kernel(KernelConfig{}) {}
+  explicit Kernel(QueuePolicy policy) : Kernel(KernelConfig{policy}) {}
+  explicit Kernel(const KernelConfig& cfg);
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] QueuePolicy policy() const { return cfg_.policy; }
+  [[nodiscard]] const KernelConfig& config() const { return cfg_; }
 
   /// Current simulated time.
   [[nodiscard]] TimePs now() const { return now_; }
@@ -66,15 +103,15 @@ class Kernel {
 
   /// Number of events executed so far (a cheap progress/determinism probe).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  /// Pending non-daemon events (run()'s liveness condition).
+  /// Pending events (daemons included) and non-daemon events (run()'s
+  /// liveness condition).
+  [[nodiscard]] std::size_t pending_events() const { return size_; }
   [[nodiscard]] std::size_t live_events() const { return live_; }
 
   /// Timestamp of the next pending event; UINT64_MAX when empty.
-  [[nodiscard]] TimePs next_event_time() const {
-    return queue_.empty() ? UINT64_MAX : queue_.top().time;
-  }
+  [[nodiscard]] TimePs next_event_time() const;
 
   /// Register a coroutine handle owned by the kernel; it is destroyed at
   /// kernel destruction if still suspended. See process.hpp.
@@ -83,15 +120,44 @@ class Kernel {
   ~Kernel();
 
  private:
+  // Pooled storage for the callable + daemon flag; the pool index is the
+  // only thing the queues carry. Free entries form an intrusive list.
+  static constexpr std::uint32_t kNone = UINT32_MAX;
   struct Entry {
+    EventFn fn;
+    std::uint32_t next_free = kNone;
+    bool daemon = false;
+  };
+
+  // Trivially-copyable queue record; the full deterministic order is
+  // (time asc, priority asc, seq asc) — `seq` is a strict total-order
+  // tie-break, so every queue implementation pops an identical sequence.
+  struct Node {
+    TimePs time;
+    std::uint64_t seq;
+    std::int32_t priority;
+    std::uint32_t idx;
+  };
+  struct NodeAfter {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Original implementation, kept as the selectable baseline: one binary
+  // heap whose entries carry the callable (so sifts move closures, as the
+  // pre-calendar kernel did).
+  struct LegacyEntry {
     TimePs time;
     int priority;
     std::uint64_t seq;
     EventFn fn;
     bool daemon = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+  struct LegacyAfter {
+    bool operator()(const LegacyEntry& a, const LegacyEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
       if (a.priority != b.priority) return a.priority > b.priority;
       return a.seq > b.seq;
@@ -99,9 +165,47 @@ class Kernel {
   };
 
   void push(TimePs t, EventFn fn, int priority, bool daemon);
+  std::uint32_t acquire_entry(EventFn fn, bool daemon);
+  void release_entry(std::uint32_t idx);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void wheel_insert(const Node& n);
+  void rebase_from_spill();
+  /// First non-empty bucket index >= from. Pre: wheel_count_ > 0.
+  [[nodiscard]] std::size_t next_occupied_bucket(std::size_t from) const;
+  /// Position cur_bucket_ on the bucket holding the global minimum
+  /// (rebasing the wheel from the spill heap if needed). Pre: size_ > 0.
+  void settle_min_bucket();
+  /// Bucket index of `t` relative to wheel_base_, or >= num_buckets_ when
+  /// `t` lies beyond the horizon. Pre: t >= wheel_base_.
+  [[nodiscard]] std::uint64_t bucket_offset(TimePs t) const {
+    return (t - wheel_base_) >> cfg_.bucket_width_log2;
+  }
+
+  bool step_calendar();
+  bool step_legacy();
+
+  KernelConfig cfg_;
+  std::uint64_t num_buckets_ = 0;  // 2^num_buckets_log2, cached
+
+  // Calendar-policy state.
+  std::vector<Entry> pool_;
+  std::uint32_t free_head_ = kNone;
+  std::vector<std::vector<Node>> buckets_;  // each kept as a min-heap
+  // One occupancy bit per bucket: settle_min_bucket() finds the next
+  // non-empty bucket with a word scan + countr_zero instead of walking
+  // empty buckets one by one (sparse workloads hop many buckets per event).
+  std::vector<std::uint64_t> bucket_bits_;
+  std::vector<Node> spill_;                 // min-heap beyond the horizon
+  TimePs wheel_base_ = 0;
+  std::size_t cur_bucket_ = 0;
+  std::size_t wheel_count_ = 0;
+
+  // Binary-heap-policy state.
+  std::priority_queue<LegacyEntry, std::vector<LegacyEntry>, LegacyAfter>
+      legacy_;
+
   TimePs now_ = 0;
+  std::size_t size_ = 0;
   std::size_t live_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -210,13 +210,14 @@ DmaEngine::DmaEngine(Kernel& kernel, Tracer& tracer, MemorySystem& memory,
       busy_signal_("dma.busy") {}
 
 void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
-                      std::function<void()> on_done) {
+                      EventFn on_done) {
   if (busy_) throw std::runtime_error("DMA engine is busy");
   if (len == 0) throw std::invalid_argument("DMA length must be > 0");
   busy_ = true;
   src_ = src;
   dst_ = dst;
   len_ = len;
+  on_done_ = std::move(on_done);
   busy_signal_.raise();
   tracer_.record(kernel_.now(), TraceKind::kDmaStart, CoreId{}, name(), src,
                  len);
@@ -230,20 +231,21 @@ void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
     finish += nanoseconds(len);  // fallback: 1 byte/ns
   }
 
-  kernel_.schedule_at(
-      finish, [this, started = kernel_.now(), done = std::move(on_done)] {
-        std::vector<std::uint8_t> buf(len_);
-        memory_.read_block(CoreId{}, src_, buf);
-        memory_.write_block(CoreId{}, dst_, buf);
-        busy_ = false;
-        ++done_count_;
-        busy_signal_.lower();
-        tracer_.record(kernel_.now(), TraceKind::kDmaEnd, CoreId{}, name(),
-                       dst_, len_);
-        if (perf_) perf_->on_dma(len_, started, kernel_.now());
-        irqc_.raise(irq_line_);
-        if (done) done();
-      });
+  kernel_.schedule_at(finish, [this, started = kernel_.now()] {
+    // Detach the callback first: it may start (and re-arm) the engine.
+    EventFn done = std::move(on_done_);
+    std::vector<std::uint8_t> buf(len_);
+    memory_.read_block(CoreId{}, src_, buf);
+    memory_.write_block(CoreId{}, dst_, buf);
+    busy_ = false;
+    ++done_count_;
+    busy_signal_.lower();
+    tracer_.record(kernel_.now(), TraceKind::kDmaEnd, CoreId{}, name(),
+                   dst_, len_);
+    if (perf_) perf_->on_dma(len_, started, kernel_.now());
+    irqc_.raise(irq_line_);
+    if (done) done();
+  });
 }
 
 std::uint64_t DmaEngine::read_reg(std::size_t index) const {

@@ -154,9 +154,12 @@ class DmaEngine final : public Peripheral {
             Interconnect* icn, InterruptController& irqc,
             std::size_t irq_line);
 
-  /// Start an asynchronous copy; throws if the engine is busy.
-  void start(Addr src, Addr dst, std::uint64_t len,
-             std::function<void()> on_done = {});
+  /// Start an asynchronous copy; throws if the engine is busy. `on_done`
+  /// runs at completion time, after the completion interrupt is raised.
+  /// It is taken by value and moved end-to-end (kernel-owned callable
+  /// type, so move-only captures work and nothing is copied or heap-
+  /// allocated on the way to the completion event).
+  void start(Addr src, Addr dst, std::uint64_t len, EventFn on_done = {});
 
   [[nodiscard]] bool busy() const { return busy_; }
   Signal& busy_signal() { return busy_signal_; }
@@ -182,6 +185,10 @@ class DmaEngine final : public Peripheral {
   std::uint64_t done_count_ = 0;
   Signal busy_signal_;
   PerfSink* perf_ = nullptr;
+  // One transfer outstanding at a time (guarded by busy_), so the pending
+  // completion callback lives here instead of inside the kernel event —
+  // the event capture then stays within EventFn's inline buffer.
+  EventFn on_done_;
 };
 
 /// Bank of hardware test-and-set semaphores (one register per cell).

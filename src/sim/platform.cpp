@@ -23,7 +23,7 @@ PlatformConfig PlatformConfig::heterogeneous(std::size_t riscs,
 }
 
 Platform::Platform(PlatformConfig cfg)
-    : cfg_(std::move(cfg)), memory_(kernel_, tracer_) {
+    : cfg_(std::move(cfg)), kernel_(cfg_.kernel), memory_(kernel_, tracer_) {
   if (cfg_.cores.empty())
     throw std::invalid_argument("platform needs at least one core");
 

@@ -35,6 +35,11 @@ struct PlatformConfig {
   SharedBus::Config bus;
   MeshNoc::Config mesh;
 
+  /// Event-queue implementation and calendar-wheel geometry. The policy
+  /// choice must never be observable in simulation results; the kernel
+  /// determinism tests hold platforms to that across the workload corpus.
+  KernelConfig kernel;
+
   bool enforce_locality = false;
   bool trace_enabled = false;
 

@@ -1,0 +1,132 @@
+#include "common/inplace_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace rw::common {
+namespace {
+
+using Fn = InplaceFunction<void(), 48>;
+
+TEST(InplaceFunction, DefaultIsEmptyAndThrowsOnCall) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_THROW(f(), std::bad_function_call);
+  Fn g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InplaceFunction, InvokesStoredCallable) {
+  int hits = 0;
+  Fn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, ReturnsValuesAndTakesArguments) {
+  InplaceFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 40), 42);
+}
+
+TEST(InplaceFunction, SmallCapturesStayInline) {
+  // The kernel's hot-path captures: handles, this-pointers, small ints.
+  struct Capture {
+    void* a;
+    void* b;
+    std::uint64_t c;
+    void operator()() const {}
+  };
+  static_assert(Fn::stores_inline<Capture>);
+  // A capture bigger than the buffer must still work (heap fallback).
+  struct Big {
+    char blob[96];
+    void operator()() const {}
+  };
+  static_assert(!Fn::stores_inline<Big>);
+  Big big{};
+  big.blob[0] = 7;
+  Fn f = big;
+  f();  // must not crash; dispatches through the heap slot
+}
+
+TEST(InplaceFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  Fn a = [&hits] { ++hits; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  Fn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFunction, MoveOnlyCapturesWork) {
+  // std::function rejects move-only captures; the event type must not.
+  auto p = std::make_unique<int>(5);
+  InplaceFunction<int()> f = [p = std::move(p)] { return *p; };
+  InplaceFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 5);
+}
+
+TEST(InplaceFunction, DestroysInlineAndHeapCapturesExactlyOnce) {
+  struct Probe {
+    std::shared_ptr<int> token;
+    void operator()() const {}
+  };
+  auto token = std::make_shared<int>(1);
+  {
+    Fn f = Probe{token};
+    Fn g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // exactly one live copy inside g
+  }
+  EXPECT_EQ(token.use_count(), 1);
+
+  struct BigProbe {
+    std::shared_ptr<int> token;
+    char pad[80];
+    void operator()() const {}
+  };
+  static_assert(!Fn::stores_inline<BigProbe>);
+  {
+    Fn f = BigProbe{token, {}};
+    Fn g = std::move(f);
+    f = BigProbe{token, {}};  // assign into a moved-from function
+    EXPECT_EQ(token.use_count(), 3);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceFunction, AssignmentReplacesPreviousCallable) {
+  int first = 0, second = 0;
+  Fn f = [&first] { ++first; };
+  f = [&second] { ++second; };
+  f();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InplaceFunction, WrapsACopyableStdFunction) {
+  // Existing call sites hand std::function lvalues to the scheduler; they
+  // are copied into the inline buffer (std::function itself fits).
+  int hits = 0;
+  std::function<void()> sf = [&hits] { ++hits; };
+  static_assert(Fn::stores_inline<std::function<void()>>);
+  Fn f = sf;
+  sf = nullptr;
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace rw::common
