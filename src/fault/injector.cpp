@@ -1,0 +1,122 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "common/json.hpp"
+
+namespace rw::fault {
+
+void FaultTimeline::record(TimePs time, std::string what,
+                           std::uint32_t target, std::uint64_t a,
+                           std::uint64_t b, std::string note) {
+  records_.push_back(
+      FaultRecord{time, std::move(what), target, a, b, std::move(note)});
+}
+
+std::size_t FaultTimeline::count_prefix(std::string_view prefix) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const FaultRecord& r) {
+                      return r.what.compare(0, prefix.size(), prefix) == 0;
+                    }));
+}
+
+std::string FaultTimeline::to_json() const {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("rw-fault-timeline-1");
+  w.key("records").begin_array();
+  for (const auto& r : records_) {
+    w.begin_object();
+    w.key("time_ps").value(static_cast<std::uint64_t>(r.time));
+    w.key("what").value(r.what);
+    w.key("target").value(static_cast<std::uint64_t>(r.target));
+    w.key("a").value(r.a);
+    w.key("b").value(r.b);
+    if (!r.note.empty()) w.key("note").value(r.note);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+FaultInjector::FaultInjector(sim::Platform& platform, FaultPlan plan)
+    : platform_(platform), events_(plan.events()) {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  auto& kernel = platform_.kernel();
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TimePs when = std::max(events_[i].time, kernel.now());
+    kernel.schedule_daemon_at(when, [this, i] { apply(i); });
+  }
+}
+
+void FaultInjector::apply(std::size_t i) {
+  const FaultEvent& e = events_[i];
+  auto& plat = platform_;
+  const TimePs now = plat.kernel().now();
+  ++applied_;
+  std::string note;
+
+  switch (e.kind) {
+    case FaultKind::kCoreCrash: {
+      auto& core = plat.core(e.target % plat.core_count());
+      if (core.failed()) {
+        note = "already_failed";
+      } else {
+        core.fail();
+      }
+      break;
+    }
+    case FaultKind::kCoreStall:
+      plat.core(e.target % plat.core_count()).stall(e.a);
+      break;
+    case FaultKind::kLinkDegrade: {
+      const double factor = static_cast<double>(e.a) / 1000.0;
+      auto* mesh = dynamic_cast<sim::MeshNoc*>(&plat.interconnect());
+      if (e.target != kFabricWide && mesh != nullptr) {
+        mesh->set_link_degrade(e.target % mesh->num_links(), factor);
+      } else {
+        plat.interconnect().set_degrade(factor);
+        if (e.target != kFabricWide) note = "fabric_wide_fallback";
+      }
+      break;
+    }
+    case FaultKind::kPacketDrop:
+      plat.interconnect().inject_drops(e.a);
+      break;
+    case FaultKind::kMemBitFlip: {
+      // Raw backdoor flip: unobserved by the latency model, visible to
+      // every subsequent read — silent corruption, as in the real thing.
+      std::uint8_t byte = 0;
+      if (plat.memory().find_region(e.a) == nullptr) {
+        note = "unmapped";
+        break;
+      }
+      plat.memory().peek(e.a, std::span<std::uint8_t>(&byte, 1));
+      byte = static_cast<std::uint8_t>(byte ^ (1U << (e.b % 8)));
+      plat.memory().poke(e.a, std::span<const std::uint8_t>(&byte, 1));
+      plat.tracer().record(now, sim::TraceKind::kCustom, sim::CoreId{},
+                           "fault.bitflip", e.a, e.b);
+      break;
+    }
+    case FaultKind::kDmaAbort:
+      if (!plat.dma().abort()) note = "idle";
+      break;
+    case FaultKind::kIrqDrop:
+      plat.irqc().inject_drops(
+          e.target % sim::InterruptController::kNumLines, e.a);
+      break;
+    case FaultKind::kIrqSpurious:
+      plat.irqc().raise(e.target % sim::InterruptController::kNumLines);
+      break;
+  }
+  timeline_.record(now, fault_kind_name(e.kind), e.target, e.a, e.b,
+                   std::move(note));
+}
+
+}  // namespace rw::fault

@@ -1,0 +1,80 @@
+// Fault injection onto a live virtual platform (rw::fault).
+//
+// The injector compiles a FaultPlan onto kernel *daemon* events, one per
+// fault. Daemons never extend a simulation (run() stops when only daemons
+// remain), so an armed-but-empty plan schedules zero events and the run
+// is bit-identical to an uninstrumented one — the same contract rw::perf
+// holds for its observers, fingerprint-tested the same way. Every applied
+// fault (and every recovery action, appended by the RecoverySupervisor)
+// lands in a FaultTimeline whose JSON is byte-stable for a fixed seed:
+// the deterministic disturbance record the paper's virtual-platform
+// argument calls for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "sim/platform.hpp"
+
+namespace rw::fault {
+
+/// One applied fault or recovery action, at simulated time.
+struct FaultRecord {
+  TimePs time = 0;
+  std::string what;  // fault kind name or "recovery.*" action
+  std::uint32_t target = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string note;  // optional detail ("already_failed", "idle", ...)
+};
+
+/// Chronological record of faults applied and recoveries performed.
+class FaultTimeline {
+ public:
+  void record(TimePs time, std::string what, std::uint32_t target = 0,
+              std::uint64_t a = 0, std::uint64_t b = 0,
+              std::string note = {});
+
+  [[nodiscard]] const std::vector<FaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Count of records whose `what` starts with `prefix`.
+  [[nodiscard]] std::size_t count_prefix(std::string_view prefix) const;
+
+  /// Deterministic JSON (schema rw-fault-timeline-1).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+/// Arms a plan against a platform. Lifetime: must outlive kernel.run().
+class FaultInjector {
+ public:
+  FaultInjector(sim::Platform& platform, FaultPlan plan);
+
+  /// Schedule one daemon event per plan event (empty plan: none at all).
+  /// Events whose time already passed fire at the current time.
+  void arm();
+
+  [[nodiscard]] std::size_t armed_events() const { return events_.size(); }
+  [[nodiscard]] std::size_t applied() const { return applied_; }
+  [[nodiscard]] FaultTimeline& timeline() { return timeline_; }
+  [[nodiscard]] const FaultTimeline& timeline() const { return timeline_; }
+
+ private:
+  void apply(std::size_t i);
+
+  sim::Platform& platform_;
+  std::vector<FaultEvent> events_;
+  FaultTimeline timeline_;
+  std::size_t applied_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace rw::fault

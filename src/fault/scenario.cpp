@@ -1,0 +1,330 @@
+#include "fault/scenario.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/watchdog.hpp"
+#include "sim/channel.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/platform.hpp"
+#include "sim/process.hpp"
+
+namespace rw::fault {
+namespace {
+
+using ItemChannel = sim::Channel<std::uint64_t>;
+
+/// End-of-stream marker flowing through the pipeline after the last item.
+constexpr std::uint64_t kEndOfStream = UINT64_MAX;
+/// Hardware-semaphore cell guarding the shared scratch section.
+constexpr std::size_t kSharedCell = 0;
+/// Runaway safety net for kernel.run(); a healthy E14 run is far below.
+constexpr std::uint64_t kMaxEvents = 50'000'000;
+
+struct RunCtx {
+  sim::Platform& plat;
+  const ScenarioConfig& cfg;
+  RecoverySupervisor* sup;  // nullptr under kNone
+  WatchdogPeripheral* wdt;  // nullptr under kNone
+  std::vector<std::unique_ptr<ItemChannel>> chans;  // cores + 1 of them
+  std::uint64_t items_done = 0;
+  std::uint64_t sem_skips = 0;
+  std::uint64_t items_dropped = 0;
+  TimePs finish_time = 0;
+  bool finished = false;
+
+  [[nodiscard]] bool timed() const {
+    return cfg.policy != RecoveryPolicy::kNone;
+  }
+  /// Where stage `s` runs right now: the supervisor's alias map redirects
+  /// remapped stages to their survivor.
+  [[nodiscard]] sim::Core& stage_core(std::size_t s) {
+    const std::size_t logical = s % plat.core_count();
+    return plat.core(sup ? sup->core_for(logical) : logical);
+  }
+};
+
+/// Feeds item ids into the first channel, then the end-of-stream marker.
+/// With recovery enabled it uses send_for + backoff and drops items whose
+/// retry budget runs out (a crashed consumer must not wedge the producer);
+/// under kNone it blocks forever — the deadlock E14 measures.
+sim::Process source_proc(RunCtx& ctx) {
+  ItemChannel& out = *ctx.chans.front();
+  for (std::uint64_t i = 0; i <= ctx.cfg.items; ++i) {
+    const std::uint64_t item = (i == ctx.cfg.items) ? kEndOfStream : i;
+    if (ctx.timed()) {
+      bool sent = false;
+      for (int a = 0; a < ctx.cfg.retry.max_attempts && !sent; ++a) {
+        const DurationPs budget =
+            ctx.cfg.watchdog_timeout + ctx.cfg.retry.delay_for(a);
+        sent = (co_await out.send_for(item, budget)).ok();
+      }
+      if (!sent && item != kEndOfStream) ++ctx.items_dropped;
+    } else {
+      co_await out.send(item);
+    }
+  }
+}
+
+/// Pipeline stage s: recv -> compute on (possibly remapped) core s ->
+/// semaphore-guarded shared section -> forward. The bounded semaphore spin
+/// keeps kNone runs finite: a stage that cannot get the lock skips the
+/// shared section instead of spinning events forever.
+sim::Process stage_proc(RunCtx& ctx, std::size_t s) {
+  ItemChannel& in = *ctx.chans[s];
+  ItemChannel& out = *ctx.chans[s + 1];
+  sim::Kernel& kernel = ctx.plat.kernel();
+  sim::HwSemaphores& sems = ctx.plat.hwsem();
+  Rng rng(ctx.cfg.seed * 0x9e3779b9ULL + 17 * s + 1);
+  while (true) {
+    std::uint64_t item = 0;
+    if (ctx.timed()) {
+      bool got = false;
+      for (int a = 0; a < ctx.cfg.retry.max_attempts && !got; ++a) {
+        const DurationPs budget =
+            ctx.cfg.watchdog_timeout + ctx.cfg.retry.delay_for(a);
+        auto r = co_await in.recv_for(budget);
+        if (r.ok()) {
+          item = r.value();
+          got = true;
+        }
+      }
+      if (!got) co_return;  // upstream presumed dead for good
+    } else {
+      item = co_await in.recv();
+    }
+
+    if (item != kEndOfStream) {
+      const Cycles jitter = rng.next_below(ctx.cfg.compute_cycles / 4 + 1);
+      co_await ctx.stage_core(s).compute(ctx.cfg.compute_cycles + jitter,
+                                         "e14.s" + std::to_string(s));
+      // Shared scratch section. Re-resolve the core: the compute above may
+      // have migrated to a survivor after a crash.
+      sim::Core& core = ctx.stage_core(s);
+      const sim::CoreId self = core.id();
+      bool locked = false;
+      for (int a = 0; a < 4 && !locked; ++a) {
+        locked = sems.try_acquire(kSharedCell, self);
+        if (!locked) co_await sim::delay(kernel, nanoseconds(800));
+      }
+      if (locked) {
+        co_await ctx.stage_core(s).compute(ctx.cfg.compute_cycles / 8 + 1,
+                                           "e14.shared" + std::to_string(s));
+        // Conditional release: if we crashed inside the section, watchdog
+        // recovery already force-released (possibly to another acquirer).
+        if (sems.held(kSharedCell) && sems.holder(kSharedCell) == self)
+          sems.release(kSharedCell, self);
+      } else {
+        ++ctx.sem_skips;
+      }
+    }
+
+    if (ctx.timed()) {
+      bool sent = false;
+      for (int a = 0; a < ctx.cfg.retry.max_attempts && !sent; ++a) {
+        const DurationPs budget =
+            ctx.cfg.watchdog_timeout + ctx.cfg.retry.delay_for(a);
+        sent = (co_await out.send_for(item, budget)).ok();
+      }
+      if (!sent && item != kEndOfStream) ++ctx.items_dropped;
+    } else {
+      co_await out.send(item);
+    }
+    if (item == kEndOfStream) co_return;
+  }
+}
+
+/// Counts delivered items; every delivery kicks the watchdog and notes
+/// progress. On end-of-stream it disarms the watchdog so the run can wind
+/// down; if its own retry budget runs dry the supervisor's futile-expiry
+/// counter performs the disarm instead (and the run records gave_up).
+sim::Process sink_proc(RunCtx& ctx) {
+  ItemChannel& in = *ctx.chans.back();
+  while (true) {
+    std::uint64_t item = 0;
+    if (ctx.timed()) {
+      bool got = false;
+      for (int a = 0; a < ctx.cfg.retry.max_attempts && !got; ++a) {
+        const DurationPs budget =
+            ctx.cfg.watchdog_timeout + ctx.cfg.retry.delay_for(a);
+        auto r = co_await in.recv_for(budget);
+        if (r.ok()) {
+          item = r.value();
+          got = true;
+        }
+      }
+      if (!got) co_return;  // pipeline presumed dead; supervisor winds down
+    } else {
+      item = co_await in.recv();
+    }
+    if (item == kEndOfStream) break;
+    ++ctx.items_done;
+    if (ctx.wdt) ctx.wdt->kick();
+    if (ctx.sup) ctx.sup->note_progress();
+  }
+  ctx.finished = true;
+  ctx.finish_time = ctx.plat.kernel().now();
+  if (ctx.sup) ctx.sup->finish();
+}
+
+/// One full pipeline run under `plan`. `num_links_out`, when non-null,
+/// receives the platform's NoC link count (0 on a bus) so the caller can
+/// size per-link faults in the random plan.
+ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
+                        std::size_t* num_links_out) {
+  sim::PlatformConfig pc = sim::PlatformConfig::homogeneous(cfg.cores);
+  if (cfg.mesh) {
+    pc.interconnect = sim::PlatformConfig::Icn::kMesh;
+    const auto side = static_cast<std::uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(cfg.cores))));
+    pc.mesh.width = side < 1 ? 1 : side;
+    pc.mesh.height = static_cast<std::uint32_t>(
+        (cfg.cores + pc.mesh.width - 1) / pc.mesh.width);
+  }
+  sim::Platform plat(pc);
+  if (num_links_out != nullptr) {
+    auto* mesh = dynamic_cast<sim::MeshNoc*>(&plat.interconnect());
+    *num_links_out = mesh ? mesh->num_links() : 0;
+  }
+
+  FaultInjector injector(plat, plan);
+  injector.arm();
+
+  std::unique_ptr<WatchdogPeripheral> wdt;
+  std::unique_ptr<RecoverySupervisor> sup;
+  if (cfg.policy != RecoveryPolicy::kNone) {
+    wdt = std::make_unique<WatchdogPeripheral>(
+        plat.kernel(), plat.tracer(), plat.irqc(),
+        sim::InterruptController::kNumLines - 1);
+    SupervisorConfig scfg;
+    scfg.policy = cfg.policy;
+    scfg.watchdog_timeout = cfg.watchdog_timeout;
+    sup = std::make_unique<RecoverySupervisor>(plat, *wdt, scfg,
+                                               &injector.timeline());
+    sup->start();
+  }
+
+  RunCtx ctx{plat, cfg, sup.get(), wdt.get(), {}};
+  for (std::size_t i = 0; i <= cfg.cores; ++i)
+    ctx.chans.push_back(std::make_unique<ItemChannel>(
+        plat.kernel(), 4, "e14.ch" + std::to_string(i)));
+
+  spawn(plat.kernel(), source_proc(ctx));
+  for (std::size_t s = 0; s < cfg.cores; ++s)
+    spawn(plat.kernel(), stage_proc(ctx, s));
+  spawn(plat.kernel(), sink_proc(ctx));
+  plat.kernel().run(kMaxEvents);
+
+  ScenarioOutcome out;
+  out.items_target = cfg.items;
+  out.items_done = ctx.items_done;
+  out.goodput = cfg.items == 0 ? 1.0
+                               : static_cast<double>(ctx.items_done) /
+                                     static_cast<double>(cfg.items);
+  out.finish_time = ctx.finish_time;
+  out.makespan = plat.kernel().now();
+  out.deadlocked = !ctx.finished;
+  out.faults_injected = injector.applied();
+  for (std::size_t c = 0; c < plat.core_count(); ++c)
+    out.crashes += plat.core(c).fail_count();
+  if (sup) {
+    out.recoveries = sup->recoveries();
+    out.restarts = sup->restarts();
+    out.remaps = sup->remaps();
+    out.sem_releases = sup->sem_releases();
+    out.gave_up = sup->gave_up();
+    out.max_recovery_latency = sup->max_recovery_latency();
+    out.total_recovery_latency = sup->total_recovery_latency();
+  }
+  if (wdt) out.watchdog_expiries = wdt->expired_count();
+  out.sem_skips = ctx.sem_skips;
+  out.items_dropped = ctx.items_dropped;
+  out.timeline = injector.timeline();
+  return out;
+}
+
+}  // namespace
+
+RunMetrics ScenarioOutcome::to_metrics() const {
+  RunMetrics m;
+  m.makespan = makespan;
+  m.deadline_misses = items_target - items_done;  // undelivered items
+  m.set_extra("fault.goodput", goodput);
+  m.set_extra("fault.items_done", static_cast<double>(items_done));
+  m.set_extra("fault.deadlocked", deadlocked ? 1.0 : 0.0);
+  m.set_extra("fault.injected", static_cast<double>(faults_injected));
+  m.set_extra("fault.crashes", static_cast<double>(crashes));
+  m.set_extra("fault.recoveries", static_cast<double>(recoveries));
+  m.set_extra("fault.restarts", static_cast<double>(restarts));
+  m.set_extra("fault.remaps", static_cast<double>(remaps));
+  m.set_extra("fault.sem_releases", static_cast<double>(sem_releases));
+  m.set_extra("fault.wdt_expiries", static_cast<double>(watchdog_expiries));
+  m.set_extra("fault.items_dropped", static_cast<double>(items_dropped));
+  m.set_extra("fault.gave_up", gave_up ? 1.0 : 0.0);
+  m.set_extra("fault.max_recovery_latency_ps",
+              static_cast<double>(max_recovery_latency));
+  m.set_extra("fault.healthy_makespan_ps",
+              static_cast<double>(healthy_makespan));
+  return m;
+}
+
+ScenarioOutcome run_fault_scenario(const ScenarioConfig& cfg) {
+  // Policy-independent reference run: the injection window must be the
+  // same for every policy under test, or the policies would face
+  // different fault counts and the sweep would compare nothing. kNone's
+  // untimed communication makes it the natural anchor.
+  std::size_t num_links = 0;
+  ScenarioConfig ref_cfg = cfg;
+  ref_cfg.policy = RecoveryPolicy::kNone;
+  const ScenarioOutcome ref = run_one(ref_cfg, FaultPlan{}, &num_links);
+  const TimePs t0_ref = ref.finish_time != 0 ? ref.finish_time : ref.makespan;
+
+  // This policy's own fault-free baseline: the degradation denominator.
+  ScenarioOutcome base = cfg.policy == RecoveryPolicy::kNone
+                             ? ref
+                             : run_one(cfg, FaultPlan{}, nullptr);
+  const TimePs t0 = base.finish_time != 0 ? base.finish_time : base.makespan;
+
+  const bool has_faults =
+      cfg.explicit_plan != nullptr || cfg.fault_rate_per_ms > 0.0;
+  if (!has_faults) {
+    base.healthy_makespan = t0;
+    return base;
+  }
+
+  FaultPlan plan;
+  if (cfg.explicit_plan != nullptr) {
+    plan = *cfg.explicit_plan;
+  } else {
+    RandomSpec spec;
+    spec.rate_per_ms = cfg.fault_rate_per_ms;
+    spec.window_start = 0;
+    spec.window_end = 2 * t0_ref;  // faults land while work is in flight
+    spec.num_cores = static_cast<std::uint32_t>(cfg.cores);
+    spec.num_links = static_cast<std::uint32_t>(num_links);
+    spec.mem_base = sim::kSharedBase;
+    spec.mem_size = sim::PlatformConfig{}.shared_mem_bytes;
+    if (cfg.crashes_only) {
+      spec.weight_crash = 1;
+      spec.weight_stall = 0;
+      spec.weight_degrade = 0;
+      spec.weight_drop = 0;
+      spec.weight_bitflip = 0;
+      spec.weight_dma_abort = 0;
+      spec.weight_irq_drop = 0;
+      spec.weight_irq_spurious = 0;
+    }
+    plan = FaultPlan::random(cfg.seed, spec);
+  }
+
+  ScenarioOutcome out = run_one(cfg, plan, nullptr);
+  out.healthy_makespan = t0;
+  return out;
+}
+
+}  // namespace rw::fault

@@ -1,0 +1,72 @@
+// Fault/recovery experiment scenario (rw::fault, experiment E14).
+//
+// One deterministic streaming pipeline — source -> one stage per core ->
+// sink — run twice: once fault-free to learn the healthy makespan, then
+// under a seed-derived FaultPlan with the chosen recovery policy. Stages
+// guard a shared scratch area with a hardware semaphore (the livelock
+// bait) and, when recovery is enabled, use Channel timeout/retry
+// primitives instead of blocking forever; the sink kicks the watchdog on
+// every item. The outcome is goodput (items delivered / items offered),
+// recovery latency, and the full fault/recovery timeline — everything
+// BENCH_fault.json and the rwfault CLI report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/run_metrics.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+
+namespace rw::fault {
+
+struct ScenarioConfig {
+  std::size_t cores = 4;
+  bool mesh = false;
+  std::uint64_t seed = 1;
+  std::uint64_t items = 48;              // items offered to the pipeline
+  std::uint64_t compute_cycles = 2000;   // per stage per item (plus jitter)
+  double fault_rate_per_ms = 0.0;        // random-plan arrival rate
+  RecoveryPolicy policy = RecoveryPolicy::kNone;
+  DurationPs watchdog_timeout = microseconds(50);
+  RetryPolicy retry;                     // channel timeout/retry behaviour
+  bool crashes_only = false;             // restrict the random plan to
+                                         // core crashes (policy ablations)
+  /// When set, used instead of the random plan (rwfault --plan-* paths,
+  /// directed tests). The random plan is windowed to twice the healthy
+  /// makespan so faults land while work is actually in flight.
+  const FaultPlan* explicit_plan = nullptr;
+};
+
+struct ScenarioOutcome {
+  std::uint64_t items_target = 0;
+  std::uint64_t items_done = 0;
+  double goodput = 0.0;             // items_done / items_target
+  TimePs healthy_makespan = 0;      // fault-free reference run
+  TimePs finish_time = 0;           // sink completion (0 = never finished)
+  TimePs makespan = 0;              // simulated time when the run ended
+  bool deadlocked = false;          // ended with items missing
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t remaps = 0;
+  std::uint64_t sem_releases = 0;
+  std::uint64_t watchdog_expiries = 0;
+  std::uint64_t sem_skips = 0;      // shared-section entries abandoned
+  std::uint64_t items_dropped = 0;  // send/recv retry budgets exhausted
+  bool gave_up = false;
+  DurationPs max_recovery_latency = 0;
+  DurationPs total_recovery_latency = 0;
+  FaultTimeline timeline;
+
+  /// Flatten into harness metrics (extra keys prefixed "fault.").
+  [[nodiscard]] RunMetrics to_metrics() const;
+};
+
+/// Run the scenario. Deterministic: equal configs produce byte-identical
+/// timelines and equal outcomes, every time.
+ScenarioOutcome run_fault_scenario(const ScenarioConfig& cfg);
+
+}  // namespace rw::fault

@@ -332,4 +332,73 @@ TimePs execute_on_platform(const TaskGraph& g,
   return makespan;
 }
 
+MappingResult replan_survivors(const TaskGraph& g,
+                               const std::vector<PeDesc>& pes,
+                               const CommCost& comm, std::size_t dead_pe) {
+  if (dead_pe >= pes.size())
+    throw std::invalid_argument("replan_survivors: no such PE");
+  if (pes.size() <= 1)
+    throw std::invalid_argument("replan_survivors: no survivors");
+  std::vector<PeDesc> sub;
+  std::vector<std::size_t> orig;  // survivor index -> original PE index
+  for (std::size_t p = 0; p < pes.size(); ++p) {
+    if (p == dead_pe) continue;
+    sub.push_back(pes[p]);
+    orig.push_back(p);
+  }
+  MappingResult r = heft_map(
+      g, sub,
+      [&](std::size_t a, std::size_t b, std::uint64_t bytes) -> DurationPs {
+        return comm(orig[a], orig[b], bytes);
+      });
+  for (auto& pe : r.task_to_pe) pe = orig[pe];
+  for (auto& s : r.slots) s.pe = orig[s.pe];
+  return r;
+}
+
+DegradationReport remap_on_failure(const TaskGraph& g,
+                                   const std::vector<PeDesc>& pes,
+                                   const CommCost& comm,
+                                   const std::vector<std::size_t>& task_to_pe,
+                                   std::size_t dead_pe) {
+  if (dead_pe >= pes.size())
+    throw std::invalid_argument("remap_on_failure: no such PE");
+  DegradationReport rep;
+  rep.dead_pe = dead_pe;
+  rep.healthy_makespan = evaluate_mapping(g, pes, comm, task_to_pe);
+
+  // Greedy online remap: orphans re-homed one at a time in HEFT priority
+  // order, each to the survivor that minimizes the resulting makespan
+  // given everything decided so far. Surviving assignments never move.
+  auto assign = task_to_pe;
+  const auto rank = upward_ranks(g, pes, comm);
+  for (const TaskNodeId t : rank_order(g, rank)) {
+    if (assign[t.index()] != dead_pe) continue;
+    ++rep.moved_tasks;
+    auto allowed = allowed_pes(g.task(t), pes);
+    std::erase(allowed, dead_pe);
+    if (allowed.empty())  // preference only satisfiable on the dead PE
+      for (std::size_t p = 0; p < pes.size(); ++p)
+        if (p != dead_pe) allowed.push_back(p);
+    std::size_t best_pe = allowed.front();
+    TimePs best_cost = std::numeric_limits<TimePs>::max();
+    for (const std::size_t pe : allowed) {
+      assign[t.index()] = pe;
+      const TimePs cost = evaluate_mapping(g, pes, comm, assign);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_pe = pe;
+      }
+    }
+    assign[t.index()] = best_pe;
+  }
+  rep.remap_task_to_pe = assign;
+  rep.remap_makespan = evaluate_mapping(g, pes, comm, assign);
+
+  MappingResult oracle = replan_survivors(g, pes, comm, dead_pe);
+  rep.oracle_task_to_pe = std::move(oracle.task_to_pe);
+  rep.oracle_makespan = oracle.makespan;
+  return rep;
+}
+
 }  // namespace rw::maps

@@ -89,4 +89,45 @@ TimePs execute_on_platform(const TaskGraph& g,
                            const std::vector<std::size_t>& task_to_pe,
                            sim::Platform& platform);
 
+/// Graceful degradation after a PE death (rw::fault).
+///
+/// remap_on_failure keeps every surviving assignment in place and greedily
+/// re-homes only the dead PE's tasks — the cheap online decision a runtime
+/// can make. replan_survivors runs full HEFT on the survivor set — the
+/// oracle a design-time tool would compute with perfect hindsight. The
+/// report carries both makespans so E14 can state the price of the online
+/// remap relative to the oracle and to the healthy platform.
+struct DegradationReport {
+  std::size_t dead_pe = 0;
+  std::size_t moved_tasks = 0;
+  TimePs healthy_makespan = 0;  // original assignment, all PEs up
+  TimePs remap_makespan = 0;    // greedy survivor remap
+  TimePs oracle_makespan = 0;   // HEFT replan restricted to survivors
+  std::vector<std::size_t> remap_task_to_pe;
+  std::vector<std::size_t> oracle_task_to_pe;
+
+  [[nodiscard]] double remap_vs_oracle() const {
+    return oracle_makespan == 0 ? 1.0
+                                : static_cast<double>(remap_makespan) /
+                                      static_cast<double>(oracle_makespan);
+  }
+  [[nodiscard]] double degradation_vs_healthy() const {
+    return healthy_makespan == 0 ? 1.0
+                                 : static_cast<double>(remap_makespan) /
+                                       static_cast<double>(healthy_makespan);
+  }
+};
+
+DegradationReport remap_on_failure(const TaskGraph& g,
+                                   const std::vector<PeDesc>& pes,
+                                   const CommCost& comm,
+                                   const std::vector<std::size_t>& task_to_pe,
+                                   std::size_t dead_pe);
+
+/// Oracle replan: HEFT over the survivors; task_to_pe/slots are expressed
+/// in the ORIGINAL PE index space (the dead PE simply never appears).
+MappingResult replan_survivors(const TaskGraph& g,
+                               const std::vector<PeDesc>& pes,
+                               const CommCost& comm, std::size_t dead_pe);
+
 }  // namespace rw::maps

@@ -8,6 +8,7 @@
 // recv() blocks when it is empty.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <coroutine>
 #include <cstddef>
@@ -15,7 +16,9 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/result.hpp"
 #include "sim/kernel.hpp"
 
 namespace rw::sim {
@@ -79,6 +82,56 @@ class Channel {
     }
   };
 
+  /// Timeout-bounded variants (rw::fault detection primitives). They park
+  /// like send()/recv() but additionally arm a kernel event at now+timeout;
+  /// whichever fires first in kernel event order — delivery or deadline —
+  /// wins, so a tie at the exact deadline is broken deterministically by
+  /// the kernel's (time, priority, seq) total order, not by wall clock.
+  /// On expiry the awaitable un-parks and resolves to an Error, which is
+  /// what lets a process survive a peer that crashed or was destroyed.
+  struct RecvForAwaitable : RecvAwaitable {
+    DurationPs timeout;
+    bool timed_out = false;
+
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      Channel& c = this->ch;
+      c.recv_waiters_.push_back(this);
+      const std::uint64_t gen = c.track_timed(this);
+      RecvForAwaitable* self = this;
+      Channel* chp = &c;
+      c.kernel_.schedule_in(
+          timeout, [chp, self, gen] { chp->on_recv_timeout(self, gen); });
+    }
+    Result<T> await_resume() {
+      if (timed_out)
+        return make_error("recv timeout on channel '" + this->ch.name_ + "'");
+      assert(this->value.has_value());
+      return std::move(*this->value);
+    }
+  };
+
+  struct SendForAwaitable : SendAwaitable {
+    DurationPs timeout;
+    bool timed_out = false;
+
+    void await_suspend(std::coroutine_handle<> h) {
+      this->handle = h;
+      Channel& c = this->ch;
+      c.send_waiters_.push_back(this);
+      const std::uint64_t gen = c.track_timed(this);
+      SendForAwaitable* self = this;
+      Channel* chp = &c;
+      c.kernel_.schedule_in(
+          timeout, [chp, self, gen] { chp->on_send_timeout(self, gen); });
+    }
+    Status await_resume() {
+      if (timed_out)
+        return make_error("send timeout on channel '" + this->ch.name_ + "'");
+      return Status::ok_status();
+    }
+  };
+
   /// co_await ch.send(v): enqueue v, blocking while the buffer is full.
   [[nodiscard]] SendAwaitable send(T value) {
     return SendAwaitable{*this, std::move(value)};
@@ -86,6 +139,18 @@ class Channel {
 
   /// co_await ch.recv(): dequeue the oldest message, blocking while empty.
   [[nodiscard]] RecvAwaitable recv() { return RecvAwaitable{*this}; }
+
+  /// co_await ch.recv_for(d): as recv(), but resolves to an Error instead
+  /// of blocking past `d`.
+  [[nodiscard]] RecvForAwaitable recv_for(DurationPs timeout) {
+    return RecvForAwaitable{{*this}, timeout};
+  }
+
+  /// co_await ch.send_for(v, d): as send(), but gives up (dropping the
+  /// message) with an Error instead of blocking past `d`.
+  [[nodiscard]] SendForAwaitable send_for(T value, DurationPs timeout) {
+    return SendForAwaitable{{*this, std::move(value)}, timeout};
+  }
 
   /// Non-blocking probes (used by schedulers and the data-driven executor).
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
@@ -122,6 +187,8 @@ class Channel {
  private:
   friend struct SendAwaitable;
   friend struct RecvAwaitable;
+  friend struct RecvForAwaitable;
+  friend struct SendForAwaitable;
 
   /// Hand `value` straight to a blocked receiver, if any. Returns true when
   /// delivered. The receiver is resumed via a kernel event at the current
@@ -130,6 +197,7 @@ class Channel {
     if (recv_waiters_.empty()) return false;
     RecvAwaitable* waiter = recv_waiters_.front();
     recv_waiters_.pop_front();
+    untrack_timed(waiter);  // delivery beat the deadline: defuse the timeout
     waiter->value = std::move(value);
     ++total_sent_;
     ++total_received_;
@@ -145,6 +213,7 @@ class Channel {
     if (send_waiters_.empty() || buffer_.size() >= capacity_) return;
     SendAwaitable* waiter = send_waiters_.front();
     send_waiters_.pop_front();
+    untrack_timed(waiter);
     buffer_.push_back(std::move(waiter->value));
     ++total_sent_;
     auto h = waiter->handle;
@@ -153,12 +222,68 @@ class Channel {
     });
   }
 
+  /// Register a timed waiter and return its registration generation.
+  /// Generations disambiguate address reuse: a retry loop re-awaits a new
+  /// timed awaitable at the same frame address, so a *stale* timeout event
+  /// (whose waiter was resumed by delivery and whose entry was untracked)
+  /// must not match the successor that now lives at that address.
+  std::uint64_t track_timed(const void* p) {
+    const std::uint64_t gen = ++timed_gen_;
+    timed_waiters_.push_back({p, gen});
+    return gen;
+  }
+
+  /// Stop tracking a timed waiter by address (delivery paths; at most one
+  /// *live* registration per address can exist). Returns false when `p`
+  /// was never timed or its deadline already resolved.
+  bool untrack_timed(const void* p) {
+    auto it = std::find_if(timed_waiters_.begin(), timed_waiters_.end(),
+                           [p](const TimedEntry& e) { return e.waiter == p; });
+    if (it == timed_waiters_.end()) return false;
+    timed_waiters_.erase(it);
+    return true;
+  }
+
+  /// As above, but from a timeout event: both address and generation must
+  /// match, so stale deadlines never touch (or forge a timeout for) a
+  /// successor awaitable reusing the address.
+  bool untrack_timed(const void* p, std::uint64_t gen) {
+    auto it = std::find_if(timed_waiters_.begin(), timed_waiters_.end(),
+                           [p, gen](const TimedEntry& e) {
+                             return e.waiter == p && e.gen == gen;
+                           });
+    if (it == timed_waiters_.end()) return false;
+    timed_waiters_.erase(it);
+    return true;
+  }
+
+  void on_recv_timeout(RecvForAwaitable* self, std::uint64_t gen) {
+    if (!untrack_timed(self, gen)) return;  // delivered before the deadline
+    std::erase(recv_waiters_, static_cast<RecvAwaitable*>(self));
+    self->timed_out = true;
+    self->handle.resume();  // already inside a kernel event
+  }
+
+  void on_send_timeout(SendForAwaitable* self, std::uint64_t gen) {
+    if (!untrack_timed(self, gen)) return;
+    std::erase(send_waiters_, static_cast<SendAwaitable*>(self));
+    self->timed_out = true;
+    self->handle.resume();
+  }
+
   Kernel& kernel_;
   std::size_t capacity_;
   std::string name_;
   std::deque<T> buffer_;
+  struct TimedEntry {
+    const void* waiter;
+    std::uint64_t gen;
+  };
+
   std::deque<SendAwaitable*> send_waiters_;
   std::deque<RecvAwaitable*> recv_waiters_;
+  std::vector<TimedEntry> timed_waiters_;
+  std::uint64_t timed_gen_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_received_ = 0;
 };

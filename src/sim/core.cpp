@@ -39,24 +39,97 @@ std::pair<TimePs, TimePs> Core::reserve_from(TimePs earliest, Cycles cycles) {
 }
 
 void Core::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
-  auto [start, end] = core.reserve(cycles);
-  finish = end;
+  handle = h;
+  core->start_compute(this);
+}
+
+void Core::start_compute(ComputeAwaitable* aw) {
+  aw->core = this;
+  if (failed_) {
+    parked_.push_back(aw);
+    return;
+  }
+  auto [start, end] = reserve(aw->cycles);
+  aw->finish = end;
+  aw->epoch = fail_epoch_;
+  aw->issue = ++issue_seq_;
+  const std::uint64_t issue = aw->issue;
+  active_.push_back(aw);
   // Record trace events at their proper timestamps (via kernel events) so
-  // the trace stays chronological even when several cores overlap.
-  core.kernel_.schedule_at(start, [this] {
-    core.current_label_ = label;
-    core.tracer_.record(core.kernel_.now(), TraceKind::kComputeStart,
-                        core.id_, label, cycles, 0);
+  // the trace stays chronological even when several cores overlap. Both
+  // events go stale when the core crashes before they run: fail() parks
+  // the awaitable immediately (fail_epoch_ mismatch), and a later
+  // recover()/migrate_parked() re-issues the whole block under a fresh
+  // issue tag — without the tag, a re-issue *before* the original end
+  // event's timestamp would revalidate the stale event (aw->epoch is
+  // reset to the live epoch) and the block would complete twice,
+  // resuming a finished coroutine.
+  kernel_.schedule_at(start, [aw, issue] {
+    if (aw->issue != issue) return;
+    Core& c = *aw->core;
+    if (aw->epoch != c.fail_epoch_) return;
+    c.current_label_ = aw->label;
+    c.tracer_.record(c.kernel_.now(), TraceKind::kComputeStart, c.id_,
+                     aw->label, aw->cycles, 0);
   });
-  core.kernel_.schedule_at(end, [this, h, start] {
-    core.tracer_.record(core.kernel_.now(), TraceKind::kComputeEnd, core.id_,
-                        label, cycles, 0);
-    if (core.perf_)
-      core.perf_->on_compute_block(core.id_, label, cycles, start,
-                                   core.kernel_.now());
-    core.current_label_ = "<idle>";
-    h.resume();
+  kernel_.schedule_at(end, [aw, start, issue] {
+    if (aw->issue != issue) return;
+    Core& c = *aw->core;
+    if (aw->epoch != c.fail_epoch_) return;
+    std::erase(c.active_, aw);
+    c.tracer_.record(c.kernel_.now(), TraceKind::kComputeEnd, c.id_,
+                     aw->label, aw->cycles, 0);
+    if (c.perf_)
+      c.perf_->on_compute_block(c.id_, aw->label, aw->cycles, start,
+                                c.kernel_.now());
+    c.current_label_ = "<idle>";
+    aw->handle.resume();
   });
+}
+
+void Core::fail() {
+  if (failed_) return;
+  failed_ = true;
+  ++fail_count_;
+  last_fail_time_ = kernel_.now();
+  ++fail_epoch_;  // every scheduled start/end event of this core goes stale
+  // In-flight work is lost: park it for a later recover()/migrate_parked().
+  for (ComputeAwaitable* aw : active_) parked_.push_back(aw);
+  active_.clear();
+  busy_until_ = kernel_.now();  // the flushed reservations no longer occupy
+  current_label_ = "<crashed>";
+  tracer_.record(kernel_.now(), TraceKind::kCustom, id_, "fault.core_crash",
+                 parked_.size(), 0);
+}
+
+void Core::recover() {
+  if (!failed_) return;
+  failed_ = false;
+  current_label_ = "<idle>";
+  tracer_.record(kernel_.now(), TraceKind::kCustom, id_, "fault.core_recover",
+                 parked_.size(), 0);
+  // Re-execute everything that was lost, in park order (deterministic).
+  std::vector<ComputeAwaitable*> lost;
+  lost.swap(parked_);
+  for (ComputeAwaitable* aw : lost) start_compute(aw);
+}
+
+std::size_t Core::migrate_parked(Core& to) {
+  const std::size_t n = parked_.size();
+  if (n == 0) return 0;
+  tracer_.record(kernel_.now(), TraceKind::kCustom, id_, "fault.core_remap",
+                 n, to.id_.value());
+  std::vector<ComputeAwaitable*> lost;
+  lost.swap(parked_);
+  for (ComputeAwaitable* aw : lost) to.start_compute(aw);
+  return n;
+}
+
+void Core::stall(DurationPs d) {
+  ++stall_count_;
+  busy_until_ = std::max(busy_until_, kernel_.now()) + d;
+  tracer_.record(kernel_.now(), TraceKind::kCustom, id_, "fault.core_stall",
+                 d, 0);
 }
 
 }  // namespace rw::sim

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "sim/kernel.hpp"
@@ -59,11 +60,16 @@ class Core {
   std::pair<TimePs, TimePs> reserve_from(TimePs earliest, Cycles cycles);
 
   /// Awaitable: run `cycles` of computation labelled `label` on this core.
+  /// `core` is a pointer (not a reference) because a parked computation can
+  /// be migrated to a surviving core after a crash — see migrate_parked().
   struct ComputeAwaitable {
-    Core& core;
+    Core* core;
     Cycles cycles;
     std::string label;
     TimePs finish = 0;
+    std::coroutine_handle<> handle{};
+    std::uint64_t epoch = 0;  // fail-epoch the reservation was made under
+    std::uint64_t issue = 0;  // issuance generation (see start_compute)
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
@@ -72,8 +78,29 @@ class Core {
 
   [[nodiscard]] ComputeAwaitable compute(Cycles cycles,
                                          std::string label = "work") {
-    return ComputeAwaitable{*this, cycles, std::move(label)};
+    return ComputeAwaitable{this, cycles, std::move(label)};
   }
+
+  /// Fault model (rw::fault). fail() crashes the core: computation in
+  /// flight is lost (its coroutine parks, never resuming on its own) and
+  /// computation submitted while crashed parks immediately — exactly the
+  /// silent lockup a watchdog exists to catch. recover() models a reset:
+  /// parked work re-executes from scratch on this core. migrate_parked()
+  /// re-executes parked work on a surviving core instead (degradation-aware
+  /// remapping); the parked awaitables are retargeted, so the coroutines
+  /// resume on the survivor. stall() is a transient fault: the core's
+  /// availability is pushed out by `d` without losing any work. All four
+  /// are deterministic and trace as kCustom events.
+  void fail();
+  void recover();
+  std::size_t migrate_parked(Core& to);
+  void stall(DurationPs d);
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t parked_count() const { return parked_.size(); }
+  [[nodiscard]] std::uint64_t fail_count() const { return fail_count_; }
+  [[nodiscard]] std::uint64_t stall_count() const { return stall_count_; }
+  /// Time of the most recent fail() (recovery-latency bookkeeping).
+  [[nodiscard]] TimePs last_fail_time() const { return last_fail_time_; }
 
   /// Time at which the core next becomes idle.
   [[nodiscard]] TimePs busy_until() const { return busy_until_; }
@@ -104,6 +131,11 @@ class Core {
   [[nodiscard]] PerfSink* perf_sink() const { return perf_; }
 
  private:
+  friend struct ComputeAwaitable;
+  /// (Re)issue a compute block: reserve the core and schedule the start/end
+  /// trace + resume events, or park `aw` when the core is crashed.
+  void start_compute(ComputeAwaitable* aw);
+
   Kernel& kernel_;
   Tracer& tracer_;
   PerfSink* perf_ = nullptr;
@@ -111,6 +143,14 @@ class Core {
   PeClass cls_;
   HertzT freq_;
   HertzT nominal_freq_;
+  bool failed_ = false;
+  std::uint64_t fail_epoch_ = 0;  // invalidates events of lost reservations
+  std::uint64_t issue_seq_ = 0;   // monotonically tags each (re)issuance
+  std::uint64_t fail_count_ = 0;
+  std::uint64_t stall_count_ = 0;
+  TimePs last_fail_time_ = 0;
+  std::vector<ComputeAwaitable*> active_;  // in-flight compute blocks
+  std::vector<ComputeAwaitable*> parked_;  // lost to a crash, awaiting rerun
   TimePs busy_until_ = 0;
   Cycles cycles_executed_ = 0;
   DurationPs busy_time_ = 0;

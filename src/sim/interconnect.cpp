@@ -21,7 +21,7 @@ std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId src, CoreId dst,
   const TimePs ready = std::max(earliest, kernel_.now());
   const TimePs start = std::max(ready, busy_until_);
   contention_ += start - ready;
-  const TimePs finish = start + transfer_duration(bytes);
+  const TimePs finish = start + faulted(transfer_duration(bytes));
   busy_until_ = finish;
   ++transfers_;
   if (perf_) {
@@ -101,6 +101,17 @@ std::uint32_t MeshNoc::hop_count(CoreId src, CoreId dst) const {
   return dx + dy;
 }
 
+void MeshNoc::set_link_degrade(std::size_t link, double factor) {
+  if (link >= link_busy_until_.size())
+    throw std::out_of_range("set_link_degrade: no such link");
+  if (link_degrade_.empty()) link_degrade_.assign(link_busy_until_.size(), 1.0);
+  link_degrade_[link] = factor < 1.0 ? 1.0 : factor;
+}
+
+double MeshNoc::link_degrade(std::size_t link) const {
+  return link < link_degrade_.size() ? link_degrade_[link] : 1.0;
+}
+
 DurationPs MeshNoc::serialization_time(std::uint64_t bytes) const {
   const std::uint64_t flits =
       (bytes + cfg_.link_width_bytes - 1) / cfg_.link_width_bytes;
@@ -119,8 +130,16 @@ std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
     return {ready, ready};
   }
   // Store-and-forward per hop: each link is reserved in sequence for the
-  // message's serialization time plus the hop latency.
+  // message's serialization time plus the hop latency. Fault model: the
+  // fabric-wide and per-link degrade factors stretch each link's
+  // occupancy; an armed packet drop is charged once, on the first link
+  // (drop + retransmit at the injecting router).
   const DurationPs ser = serialization_time(bytes);
+  bool charge_drop = pending_drops_ > 0;
+  if (charge_drop) {
+    --pending_drops_;
+    ++dropped_;
+  }
   TimePs t = ready;
   TimePs first_start = 0;
   bool first = true;
@@ -130,9 +149,14 @@ std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,
     if (first) {
       first_start = start;
       contention_ += start - ready;
-      first = false;
     }
-    const TimePs done = start + ser + cfg_.hop_latency;
+    DurationPs occ = ser + cfg_.hop_latency;
+    const double f =
+        degrade_ * (link < link_degrade_.size() ? link_degrade_[link] : 1.0);
+    if (f != 1.0) occ = static_cast<DurationPs>(static_cast<double>(occ) * f);
+    if (first && charge_drop) occ *= 2;
+    first = false;
+    const TimePs done = start + occ;
     link_busy_until_[link] = done;
     if (perf_) perf_->on_link_busy(link, done - start);
     t = done;

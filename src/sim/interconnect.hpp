@@ -45,9 +45,38 @@ class Interconnect {
   /// PMU observation point; nullptr (the default) disables all hooks.
   void set_perf_sink(PerfSink* sink) { perf_ = sink; }
 
+  /// Fault model (rw::fault). set_degrade() scales every subsequent
+  /// transfer's occupancy by `factor` (>= 1.0; 1.0 restores nominal) —
+  /// a degraded link that still delivers, just slower. inject_drops()
+  /// arms the next `n` transfers to each lose one packet: the transfer
+  /// occupies the fabric twice as long (drop + retransmit) and counts in
+  /// packets_dropped(). nominal_latency() stays un-faulted on purpose:
+  /// it is the *planner's* view, and the gap between plan and faulted
+  /// reality is exactly what E14 measures.
+  void set_degrade(double factor) { degrade_ = factor < 1.0 ? 1.0 : factor; }
+  void inject_drops(std::uint64_t n) { pending_drops_ += n; }
+  [[nodiscard]] double degrade_factor() const { return degrade_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+
  protected:
+  /// Apply the fault model to a nominal occupancy. Consumes one pending
+  /// drop if armed (retransmit doubles the time on the wire).
+  [[nodiscard]] DurationPs faulted(DurationPs nominal) {
+    if (degrade_ == 1.0 && pending_drops_ == 0) return nominal;  // exact
+    auto d = static_cast<DurationPs>(static_cast<double>(nominal) * degrade_);
+    if (pending_drops_ > 0) {
+      --pending_drops_;
+      ++dropped_;
+      d *= 2;
+    }
+    return d;
+  }
+
   DurationPs contention_ = 0;
   std::uint64_t transfers_ = 0;
+  double degrade_ = 1.0;
+  std::uint64_t pending_drops_ = 0;
+  std::uint64_t dropped_ = 0;
   PerfSink* perf_ = nullptr;
 };
 
@@ -102,6 +131,14 @@ class MeshNoc final : public Interconnect {
   /// Number of mesh hops between two cores (XY route length).
   [[nodiscard]] std::uint32_t hop_count(CoreId src, CoreId dst) const;
 
+  /// Per-link fault: scale the occupancy of one directed link (on top of
+  /// the fabric-wide set_degrade factor). factor < 1.0 clamps to 1.0.
+  void set_link_degrade(std::size_t link, double factor);
+  [[nodiscard]] double link_degrade(std::size_t link) const;
+  [[nodiscard]] std::size_t num_links() const {
+    return link_busy_until_.size();
+  }
+
  private:
   struct Coord {
     std::uint32_t x, y;
@@ -115,6 +152,7 @@ class MeshNoc final : public Interconnect {
   Kernel& kernel_;
   Config cfg_;
   std::vector<TimePs> link_busy_until_;
+  std::vector<double> link_degrade_;  // lazily sized; empty == all nominal
 };
 
 }  // namespace rw::sim

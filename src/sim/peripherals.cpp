@@ -15,10 +15,23 @@ InterruptController::InterruptController(Kernel& kernel, Tracer& tracer)
   for (std::size_t i = 0; i < kNumLines; ++i)
     lines_.push_back(std::make_unique<Signal>(strformat("irq%zu", i)));
   handlers_.resize(kNumLines);
+  drop_pending_.assign(kNumLines, 0);
+}
+
+void InterruptController::inject_drops(std::size_t line, std::uint64_t n) {
+  if (line >= kNumLines) throw std::out_of_range("irq line out of range");
+  drop_pending_[line] += n;
 }
 
 void InterruptController::raise(std::size_t line) {
   if (line >= kNumLines) throw std::out_of_range("irq line out of range");
+  if (drop_pending_[line] > 0) {
+    --drop_pending_[line];
+    ++dropped_count_;
+    tracer_.record(kernel_.now(), TraceKind::kCustom, CoreId{}, "irqc.drop",
+                   line, 0);
+    return;  // lost on the wire: no pending bit, no dispatch
+  }
   ++raised_count_;
   pending_ |= (1ULL << line);
   lines_[line]->raise();
@@ -75,6 +88,7 @@ std::uint64_t InterruptController::read_reg(std::size_t index) const {
     case kRegPending: return pending_;
     case kRegMask: return mask_;
     case kRegRaisedCount: return raised_count_;
+    case kRegDropCount: return dropped_count_;
     default: throw std::out_of_range("irqc register index");
   }
 }
@@ -98,7 +112,8 @@ void InterruptController::write_reg(std::size_t index, std::uint64_t value) {
 std::vector<RegInfo> InterruptController::registers() const {
   return {{"PENDING", kRegPending},
           {"MASK", kRegMask},
-          {"RAISED_COUNT", kRegRaisedCount}};
+          {"RAISED_COUNT", kRegRaisedCount},
+          {"DROP_COUNT", kRegDropCount}};
 }
 
 std::vector<Signal*> InterruptController::signals() {
@@ -209,11 +224,25 @@ DmaEngine::DmaEngine(Kernel& kernel, Tracer& tracer, MemorySystem& memory,
       irq_line_(irq_line),
       busy_signal_("dma.busy") {}
 
-void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
+bool DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
                       EventFn on_done) {
   if (busy_) throw std::runtime_error("DMA engine is busy");
-  if (len == 0) throw std::invalid_argument("DMA length must be > 0");
+  // Rejected programming latches ERROR and schedules nothing — a silent
+  // no-op completion would hide the bug from both software and the trace.
+  if (len == 0) {
+    error_ = kErrZeroLength;
+    tracer_.record(kernel_.now(), TraceKind::kCustom, CoreId{}, "dma.reject",
+                   kErrZeroLength, src);
+    return false;
+  }
+  if (src < dst + len && dst < src + len) {
+    error_ = kErrOverlap;
+    tracer_.record(kernel_.now(), TraceKind::kCustom, CoreId{}, "dma.reject",
+                   kErrOverlap, src);
+    return false;
+  }
   busy_ = true;
+  error_ = kErrNone;
   src_ = src;
   dst_ = dst;
   len_ = len;
@@ -231,7 +260,9 @@ void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
     finish += nanoseconds(len);  // fallback: 1 byte/ns
   }
 
-  kernel_.schedule_at(finish, [this, started = kernel_.now()] {
+  const std::uint64_t gen = generation_;
+  kernel_.schedule_at(finish, [this, gen, started = kernel_.now()] {
+    if (gen != generation_) return;  // transfer was aborted mid-flight
     // Detach the callback first: it may start (and re-arm) the engine.
     EventFn done = std::move(on_done_);
     std::vector<std::uint8_t> buf(len_);
@@ -246,6 +277,23 @@ void DmaEngine::start(Addr src, Addr dst, std::uint64_t len,
     irqc_.raise(irq_line_);
     if (done) done();
   });
+  return true;
+}
+
+bool DmaEngine::abort() {
+  if (!busy_) return false;
+  ++generation_;  // the in-flight completion event becomes a no-op
+  busy_ = false;
+  ++abort_count_;
+  error_ = kErrAborted;
+  on_done_ = {};
+  busy_signal_.lower();
+  tracer_.record(kernel_.now(), TraceKind::kCustom, CoreId{}, "dma.abort",
+                 src_, len_);
+  // The completion IRQ still fires: software polls ERROR, sees kErrAborted,
+  // and knows the destination block never arrived.
+  irqc_.raise(irq_line_);
+  return true;
 }
 
 std::uint64_t DmaEngine::read_reg(std::size_t index) const {
@@ -255,6 +303,7 @@ std::uint64_t DmaEngine::read_reg(std::size_t index) const {
     case kRegLen: return len_;
     case kRegStatus: return busy_ ? 1 : 0;
     case kRegDoneCount: return done_count_;
+    case kRegError: return error_;
     default: throw std::out_of_range("dma register index");
   }
 }
@@ -277,7 +326,8 @@ std::vector<RegInfo> DmaEngine::registers() const {
           {"DST", kRegDst},
           {"LEN", kRegLen},
           {"STATUS", kRegStatus},
-          {"DONE_COUNT", kRegDoneCount}};
+          {"DONE_COUNT", kRegDoneCount},
+          {"ERROR", kRegError}};
 }
 
 std::vector<Signal*> DmaEngine::signals() { return {&busy_signal_}; }
@@ -305,6 +355,15 @@ void HwSemaphores::release(std::size_t cell, CoreId by) {
   holder = CoreId{};
   tracer_.record(kernel_.now(), TraceKind::kCustom, by, "hwsem.release",
                  cell, 0);
+}
+
+bool HwSemaphores::force_release(std::size_t cell) {
+  auto& holder = holders_.at(cell);
+  if (!holder.is_valid()) return false;
+  tracer_.record(kernel_.now(), TraceKind::kCustom, holder,
+                 "hwsem.force_release", cell, 0);
+  holder = CoreId{};
+  return true;
 }
 
 bool HwSemaphores::held(std::size_t cell) const {

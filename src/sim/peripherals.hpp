@@ -61,6 +61,7 @@ class InterruptController final : public Peripheral {
   static constexpr std::size_t kRegPending = 0;
   static constexpr std::size_t kRegMask = 1;
   static constexpr std::size_t kRegRaisedCount = 2;
+  static constexpr std::size_t kRegDropCount = 3;
 
   InterruptController(Kernel& kernel, Tracer& tracer);
 
@@ -81,6 +82,15 @@ class InterruptController final : public Peripheral {
   using Handler = std::function<void(std::size_t line)>;
   void set_handler(std::size_t line, Handler fn);
 
+  /// Fault model (rw::fault): arm the next `n` raise() calls on `line` to
+  /// be silently lost — the wrongly-dropped interrupt of Sec. VII. The
+  /// line never goes pending and no handler runs; the loss is only
+  /// visible in DROP_COUNT and the trace ("irqc.drop"), which is what
+  /// makes it a detection problem. A *spurious* interrupt needs no
+  /// special hook: injectors simply call raise() on an unexpected line.
+  void inject_drops(std::size_t line, std::uint64_t n);
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_count_; }
+
   /// Signal for a line (watchpoint target).
   Signal& line_signal(std::size_t line) { return *lines_.at(line); }
 
@@ -97,6 +107,8 @@ class InterruptController final : public Peripheral {
   std::uint64_t pending_ = 0;
   std::uint64_t mask_ = 0;
   std::uint64_t raised_count_ = 0;
+  std::uint64_t dropped_count_ = 0;
+  std::vector<std::uint64_t> drop_pending_;  // armed drops per line
   std::vector<std::unique_ptr<Signal>> lines_;
   std::vector<Handler> handlers_;
 };
@@ -149,19 +161,39 @@ class DmaEngine final : public Peripheral {
   static constexpr std::size_t kRegLen = 2;
   static constexpr std::size_t kRegStatus = 3;  // 0 idle, 1 busy
   static constexpr std::size_t kRegDoneCount = 4;
+  static constexpr std::size_t kRegError = 5;
+
+  /// ERROR register values. Rejected programming never schedules a
+  /// completion (no silent no-op transfer): the error is latched here for
+  /// software to poll, exactly like a real engine's error status.
+  enum ErrorCode : std::uint64_t {
+    kErrNone = 0,
+    kErrZeroLength = 1,
+    kErrOverlap = 2,
+    kErrAborted = 3,
+  };
 
   DmaEngine(Kernel& kernel, Tracer& tracer, MemorySystem& memory,
             Interconnect* icn, InterruptController& irqc,
             std::size_t irq_line);
 
-  /// Start an asynchronous copy; throws if the engine is busy. `on_done`
-  /// runs at completion time, after the completion interrupt is raised.
+  /// Start an asynchronous copy; throws if the engine is busy (programming
+  /// error), returns false after latching ERROR for rejected programming —
+  /// zero length or overlapping src/dst ranges. `on_done` runs at
+  /// completion time, after the completion interrupt is raised.
   /// It is taken by value and moved end-to-end (kernel-owned callable
   /// type, so move-only captures work and nothing is copied or heap-
   /// allocated on the way to the completion event).
-  void start(Addr src, Addr dst, std::uint64_t len, EventFn on_done = {});
+  bool start(Addr src, Addr dst, std::uint64_t len, EventFn on_done = {});
+
+  /// Fault model (rw::fault): abort the in-flight transfer. No data moves,
+  /// no completion fires; ERROR latches kErrAborted and the completion IRQ
+  /// is raised so software notices the hole. Returns false when idle.
+  bool abort();
 
   [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] ErrorCode error() const { return error_; }
+  [[nodiscard]] std::uint64_t abort_count() const { return abort_count_; }
   Signal& busy_signal() { return busy_signal_; }
 
   /// PMU observation point; nullptr (the default) disables all hooks.
@@ -183,6 +215,9 @@ class DmaEngine final : public Peripheral {
   Addr src_ = 0, dst_ = 0;
   std::uint64_t len_ = 0;
   std::uint64_t done_count_ = 0;
+  std::uint64_t abort_count_ = 0;
+  ErrorCode error_ = kErrNone;
+  std::uint64_t generation_ = 0;  // invalidates aborted completion events
   Signal busy_signal_;
   PerfSink* perf_ = nullptr;
   // One transfer outstanding at a time (guarded by busy_), so the pending
@@ -204,6 +239,13 @@ class HwSemaphores final : public Peripheral {
   void release(std::size_t cell, CoreId by);
   [[nodiscard]] bool held(std::size_t cell) const;
   [[nodiscard]] CoreId holder(std::size_t cell) const;
+  [[nodiscard]] std::size_t num_cells() const { return holders_.size(); }
+
+  /// Recovery hook (rw::fault): release a cell regardless of holder —
+  /// what watchdog recovery does after the holding core died, so other
+  /// cores don't livelock on a semaphore nobody can release. Returns
+  /// false when the cell was already free.
+  bool force_release(std::size_t cell);
 
   std::uint64_t read_reg(std::size_t index) const override;
   void write_reg(std::size_t index, std::uint64_t value) override;

@@ -1,0 +1,285 @@
+// rw::fault policy layer: retry budgets, seed-reproducible plans, the
+// E14 scenario under directed and random faults, and degradation-aware
+// remapping in maps/sched.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "fault/recovery.hpp"
+#include "fault/scenario.hpp"
+#include "maps/mapping.hpp"
+#include "sched/partitioned.hpp"
+
+namespace rw::fault {
+namespace {
+
+TEST(RetryPolicy, ExponentialBackoffAndBudget) {
+  RetryPolicy r;
+  r.max_attempts = 4;
+  r.initial_delay = nanoseconds(500);
+  r.multiplier = 2;
+  EXPECT_EQ(r.delay_for(0), nanoseconds(500));
+  EXPECT_EQ(r.delay_for(1), nanoseconds(1000));
+  EXPECT_EQ(r.delay_for(3), nanoseconds(4000));
+  EXPECT_EQ(r.total_budget(), nanoseconds(500 + 1000 + 2000 + 4000));
+}
+
+RandomSpec busy_spec() {
+  RandomSpec spec;
+  spec.rate_per_ms = 200.0;
+  spec.window_start = microseconds(10);
+  spec.window_end = microseconds(400);
+  spec.num_cores = 4;
+  spec.num_links = 8;
+  spec.mem_base = 0x1000;
+  spec.mem_size = 0x800;
+  return spec;
+}
+
+TEST(FaultPlanRandom, SameSeedSamePlanDifferentSeedDifferentPlan) {
+  const RandomSpec spec = busy_spec();
+  const FaultPlan a = FaultPlan::random(13, spec);
+  const FaultPlan b = FaultPlan::random(13, spec);
+  const FaultPlan c = FaultPlan::random(14, spec);
+  ASSERT_GT(a.size(), 10u);
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_NE(a.to_json(), c.to_json());
+}
+
+TEST(FaultPlanRandom, EventsLandInsideTheWindowSorted) {
+  const RandomSpec spec = busy_spec();
+  const auto events = FaultPlan::random(7, spec).events();
+  ASSERT_FALSE(events.empty());
+  TimePs prev = 0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, spec.window_start);
+    EXPECT_LT(e.time, spec.window_end);
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+  }
+}
+
+TEST(FaultPlanRandom, CrashOnlyWeightsRestrictKinds) {
+  RandomSpec spec = busy_spec();
+  spec.weight_stall = spec.weight_degrade = spec.weight_drop = 0;
+  spec.weight_bitflip = spec.weight_dma_abort = 0;
+  spec.weight_irq_drop = spec.weight_irq_spurious = 0;
+  spec.weight_crash = 1;
+  const auto events = FaultPlan::random(21, spec).events();
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    EXPECT_EQ(e.kind, FaultKind::kCoreCrash);
+    EXPECT_LT(e.target, spec.num_cores);
+  }
+}
+
+ScenarioConfig small_cfg(RecoveryPolicy policy) {
+  ScenarioConfig cfg;
+  cfg.cores = 4;
+  cfg.seed = 1;
+  cfg.items = 16;
+  cfg.policy = policy;
+  return cfg;
+}
+
+TEST(Scenario, FaultFreeRunsDeliverEverythingUnderEveryPolicy) {
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kNone, RecoveryPolicy::kWatchdogRestart,
+        RecoveryPolicy::kWatchdogRemap}) {
+    const ScenarioOutcome out = run_fault_scenario(small_cfg(policy));
+    EXPECT_EQ(out.items_done, out.items_target) << recovery_policy_name(policy);
+    EXPECT_DOUBLE_EQ(out.goodput, 1.0);
+    EXPECT_FALSE(out.deadlocked);
+    EXPECT_EQ(out.faults_injected, 0u);
+    EXPECT_EQ(out.crashes, 0u);
+    // healthy_makespan is the sink's completion time; the drained kernel
+    // time only exceeds it by the watchdog's final no-op tail (if any).
+    EXPECT_EQ(out.finish_time, out.healthy_makespan);
+    EXPECT_GE(out.makespan, out.healthy_makespan);
+  }
+}
+
+TEST(Scenario, DirectedCrashDeadlocksWithoutRecoveryAndHealsWithIt) {
+  FaultPlan crash;
+  crash.crash_core(microseconds(20), 1);
+
+  ScenarioConfig none = small_cfg(RecoveryPolicy::kNone);
+  none.explicit_plan = &crash;
+  const ScenarioOutcome dead = run_fault_scenario(none);
+  EXPECT_TRUE(dead.deadlocked);
+  EXPECT_LT(dead.goodput, 1.0);
+  EXPECT_EQ(dead.recoveries, 0u);
+
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kWatchdogRestart, RecoveryPolicy::kWatchdogRemap}) {
+    ScenarioConfig cfg = small_cfg(policy);
+    cfg.explicit_plan = &crash;
+    const ScenarioOutcome out = run_fault_scenario(cfg);
+    EXPECT_DOUBLE_EQ(out.goodput, 1.0) << recovery_policy_name(policy);
+    EXPECT_FALSE(out.deadlocked);
+    EXPECT_EQ(out.crashes, 1u);
+    EXPECT_GE(out.recoveries, 1u);
+    // Detection is watchdog-bounded: the supervisor cannot take longer
+    // than a few watchdog periods to notice and act.
+    EXPECT_GT(out.max_recovery_latency, 0u);
+    EXPECT_LE(out.max_recovery_latency, 3 * cfg.watchdog_timeout);
+    EXPECT_GE(out.timeline.count_prefix("recovery."), 1u);
+  }
+}
+
+TEST(Scenario, RecoveryPoliciesBeatNoneUnderACrashStorm) {
+  auto goodput = [](RecoveryPolicy policy) {
+    ScenarioConfig cfg = small_cfg(policy);
+    cfg.items = 24;
+    cfg.fault_rate_per_ms = 40.0;
+    cfg.crashes_only = true;
+    return run_fault_scenario(cfg).goodput;
+  };
+  const double none = goodput(RecoveryPolicy::kNone);
+  const double restart = goodput(RecoveryPolicy::kWatchdogRestart);
+  const double remap = goodput(RecoveryPolicy::kWatchdogRemap);
+  EXPECT_LT(none, 1.0);  // the storm actually hurts the unprotected run
+  EXPECT_GE(restart, none);
+  EXPECT_GE(remap, none);
+  EXPECT_GT(restart, 0.9);  // restart keeps the pipeline essentially alive
+}
+
+TEST(Scenario, EqualConfigsProduceByteIdenticalTimelines) {
+  ScenarioConfig cfg = small_cfg(RecoveryPolicy::kWatchdogRestart);
+  cfg.fault_rate_per_ms = 60.0;
+  const ScenarioOutcome a = run_fault_scenario(cfg);
+  const ScenarioOutcome b = run_fault_scenario(cfg);
+  ASSERT_GT(a.faults_injected, 0u);
+  EXPECT_EQ(a.timeline.to_json(), b.timeline.to_json());
+  EXPECT_EQ(a.items_done, b.items_done);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.to_metrics().sim_equal(b.to_metrics()), true);
+}
+
+TEST(Scenario, MetricsCarryTheFaultExtras) {
+  ScenarioConfig cfg = small_cfg(RecoveryPolicy::kWatchdogRestart);
+  cfg.fault_rate_per_ms = 20.0;
+  const RunMetrics m = run_fault_scenario(cfg).to_metrics();
+  EXPECT_GE(m.extra_or("fault.goodput", -1.0), 0.0);
+  EXPECT_GE(m.extra_or("fault.injected", -1.0), 1.0);
+  EXPECT_GE(m.extra_or("fault.healthy_makespan_ps", -1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rw::fault
+
+namespace rw::maps {
+namespace {
+
+std::vector<PeDesc> homogeneous_pes(std::size_t n) {
+  return std::vector<PeDesc>(n, PeDesc{sim::PeClass::kRisc, mhz(400)});
+}
+
+TaskGraph fork_join_graph(int width) {
+  TaskGraph g;
+  const auto src = g.add_task("src", 500);
+  const auto join = g.add_task("join", 500);
+  for (int i = 0; i < width; ++i) {
+    const auto t = g.add_task("mid" + std::to_string(i), 20'000);
+    g.add_edge(src, t, 256);
+    g.add_edge(t, join, 256);
+  }
+  return g;
+}
+
+TEST(Degradation, RemapEvictsEveryTaskFromTheDeadPe) {
+  const TaskGraph g = fork_join_graph(6);
+  const auto pes = homogeneous_pes(4);
+  const CommCost comm = simple_comm_cost(nanoseconds(100), 0.004);
+  const MappingResult healthy = heft_map(g, pes, comm);
+
+  const std::size_t dead = healthy.task_to_pe[2];  // a PE that has work
+  std::size_t originally_on_dead = 0;
+  for (std::size_t pe : healthy.task_to_pe)
+    if (pe == dead) ++originally_on_dead;
+  ASSERT_GT(originally_on_dead, 0u);
+
+  const DegradationReport rep =
+      remap_on_failure(g, pes, comm, healthy.task_to_pe, dead);
+  EXPECT_EQ(rep.dead_pe, dead);
+  EXPECT_EQ(rep.moved_tasks, originally_on_dead);
+  EXPECT_EQ(rep.healthy_makespan, healthy.makespan);
+  for (std::size_t pe : rep.remap_task_to_pe) EXPECT_NE(pe, dead);
+  for (std::size_t pe : rep.oracle_task_to_pe) EXPECT_NE(pe, dead);
+
+  // Losing a loaded PE cannot speed things up, and the greedy online
+  // remap cannot beat the hindsight oracle.
+  EXPECT_GE(rep.remap_makespan, rep.healthy_makespan);
+  EXPECT_GE(rep.remap_makespan, rep.oracle_makespan);
+  EXPECT_GE(rep.remap_vs_oracle(), 1.0);
+  EXPECT_GE(rep.degradation_vs_healthy(), 1.0);
+}
+
+TEST(Degradation, OracleReplanNeverUsesTheDeadPe) {
+  const TaskGraph g = fork_join_graph(5);
+  const auto pes = homogeneous_pes(3);
+  const MappingResult replan =
+      replan_survivors(g, pes, simple_comm_cost(nanoseconds(100), 0.004), 1);
+  ASSERT_EQ(replan.task_to_pe.size(), g.tasks().size());
+  std::set<std::size_t> used(replan.task_to_pe.begin(),
+                             replan.task_to_pe.end());
+  EXPECT_FALSE(used.contains(1));
+  EXPECT_GT(replan.makespan, 0u);
+}
+
+}  // namespace
+}  // namespace rw::maps
+
+namespace rw::sched {
+namespace {
+
+RtTask util_task(const std::string& name, double u,
+                 DurationPs period = milliseconds(10)) {
+  RtTask t;
+  t.name = name;
+  t.wcet = static_cast<Cycles>(u * static_cast<double>(period) / 1e12 *
+                               mhz(100));
+  t.period = period;
+  return t;
+}
+
+std::vector<RtTask> uniform_tasks(int n, double u) {
+  std::vector<RtTask> out;
+  for (int i = 0; i < n; ++i)
+    out.push_back(util_task("t" + std::to_string(i), u));
+  return out;
+}
+
+TEST(Repartition, SurvivorsAbsorbTheDeadCoresTasks) {
+  const auto tasks = uniform_tasks(6, 0.3);  // 1.8 total over 3 cores
+  const auto before = partition_tasks(tasks, 3, mhz(100),
+                                      PackingHeuristic::kFirstFit);
+  ASSERT_TRUE(before.feasible);
+
+  const auto r = repartition_on_failure(tasks, before, 0, mhz(100));
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.moved, 0u);
+  EXPECT_TRUE(r.unplaced.empty());
+  EXPECT_TRUE(r.after.per_core[0].tasks.empty());  // dead core stays empty
+  std::size_t placed = 0;
+  for (const auto& core : r.after.per_core) placed += core.tasks.size();
+  EXPECT_EQ(placed, tasks.size());
+}
+
+TEST(Repartition, OverloadedSurvivorsReportUnplacedTasks) {
+  const auto tasks = uniform_tasks(6, 0.45);  // 2.7 total: fits 3, not 2
+  const auto before = partition_tasks(tasks, 3, mhz(100),
+                                      PackingHeuristic::kFirstFit);
+  ASSERT_TRUE(before.feasible);
+
+  const auto r = repartition_on_failure(tasks, before, 0, mhz(100));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.unplaced.empty());
+  EXPECT_TRUE(r.after.per_core[0].tasks.empty());
+}
+
+}  // namespace
+}  // namespace rw::sched

@@ -1,0 +1,18 @@
+// rwfault: run the E14 fault-injection/recovery scenario per recovery
+// policy, print the goodput/recovery summary table, and write the
+// deterministic FAULT_<policy>.json fault/recovery timeline documents.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fault/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = rw::fault::parse_fault_args(args);
+  if (!opts.ok()) {
+    std::cerr << opts.error().to_string() << "\n";
+    return 2;
+  }
+  return rw::fault::run_fault(opts.value(), std::cout).exit_code;
+}
