@@ -36,6 +36,14 @@ class Channel {
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
+  ~Channel() {
+    // Parked timed waiters may outlive the channel (their frames are
+    // destroyed later, e.g. at kernel teardown); clear their armed slots
+    // so ~RecvForAwaitable/~SendForAwaitable don't call back into a dead
+    // channel.
+    for (TimedEntry& e : timed_waiters_) *e.armed_slot = nullptr;
+  }
+
   struct SendAwaitable {
     Channel& ch;
     T value;
@@ -93,11 +101,32 @@ class Channel {
     DurationPs timeout;
     bool timed_out = false;
 
+    RecvForAwaitable(Channel& c, DurationPs t)
+        : RecvAwaitable{c}, timeout(t) {}
+    RecvForAwaitable(const RecvForAwaitable&) = delete;
+    RecvForAwaitable& operator=(const RecvForAwaitable&) = delete;
+    /// A coroutine destroyed while parked here (e.g. kernel teardown of an
+    /// abandoned process, or an owner dropping a suspended process
+    /// mid-run) never resumes, so its still-armed deadline event would
+    /// otherwise fire against the freed frame. Untracking in the
+    /// destructor defuses that event — its (address, gen) lookup fails —
+    /// and removes the dangling waiter from the park deque. `armed_` is
+    /// non-null exactly while a live registration exists; every resolution
+    /// path (delivery, timeout, ~Channel) clears it through the entry's
+    /// armed slot.
+    ~RecvForAwaitable() {
+      if (armed_ != nullptr) {
+        Channel& c = *armed_;
+        c.untrack_timed(this);
+        std::erase(c.recv_waiters_, static_cast<RecvAwaitable*>(this));
+      }
+    }
+
     void await_suspend(std::coroutine_handle<> h) {
       this->handle = h;
       Channel& c = this->ch;
       c.recv_waiters_.push_back(this);
-      const std::uint64_t gen = c.track_timed(this);
+      const std::uint64_t gen = c.track_timed(this, &armed_);
       RecvForAwaitable* self = this;
       Channel* chp = &c;
       c.kernel_.schedule_in(
@@ -109,17 +138,34 @@ class Channel {
       assert(this->value.has_value());
       return std::move(*this->value);
     }
+
+   private:
+    Channel* armed_ = nullptr;  // owning channel while registration is live
   };
 
   struct SendForAwaitable : SendAwaitable {
     DurationPs timeout;
     bool timed_out = false;
 
+    SendForAwaitable(Channel& c, T v, DurationPs t)
+        : SendAwaitable{c, std::move(v)}, timeout(t) {}
+    SendForAwaitable(const SendForAwaitable&) = delete;
+    SendForAwaitable& operator=(const SendForAwaitable&) = delete;
+    /// See ~RecvForAwaitable(): defuse the deadline of a waiter destroyed
+    /// without ever resuming.
+    ~SendForAwaitable() {
+      if (armed_ != nullptr) {
+        Channel& c = *armed_;
+        c.untrack_timed(this);
+        std::erase(c.send_waiters_, static_cast<SendAwaitable*>(this));
+      }
+    }
+
     void await_suspend(std::coroutine_handle<> h) {
       this->handle = h;
       Channel& c = this->ch;
       c.send_waiters_.push_back(this);
-      const std::uint64_t gen = c.track_timed(this);
+      const std::uint64_t gen = c.track_timed(this, &armed_);
       SendForAwaitable* self = this;
       Channel* chp = &c;
       c.kernel_.schedule_in(
@@ -130,6 +176,9 @@ class Channel {
         return make_error("send timeout on channel '" + this->ch.name_ + "'");
       return Status::ok_status();
     }
+
+   private:
+    Channel* armed_ = nullptr;  // owning channel while registration is live
   };
 
   /// co_await ch.send(v): enqueue v, blocking while the buffer is full.
@@ -143,13 +192,13 @@ class Channel {
   /// co_await ch.recv_for(d): as recv(), but resolves to an Error instead
   /// of blocking past `d`.
   [[nodiscard]] RecvForAwaitable recv_for(DurationPs timeout) {
-    return RecvForAwaitable{{*this}, timeout};
+    return RecvForAwaitable(*this, timeout);
   }
 
   /// co_await ch.send_for(v, d): as send(), but gives up (dropping the
   /// message) with an Error instead of blocking past `d`.
   [[nodiscard]] SendForAwaitable send_for(T value, DurationPs timeout) {
-    return SendForAwaitable{{*this, std::move(value)}, timeout};
+    return SendForAwaitable(*this, std::move(value), timeout);
   }
 
   /// Non-blocking probes (used by schedulers and the data-driven executor).
@@ -227,9 +276,13 @@ class Channel {
   /// timed awaitable at the same frame address, so a *stale* timeout event
   /// (whose waiter was resumed by delivery and whose entry was untracked)
   /// must not match the successor that now lives at that address.
-  std::uint64_t track_timed(const void* p) {
+  /// `armed_slot` is the waiter's back-pointer to this channel: set here,
+  /// cleared by whichever path retires the registration, so the waiter's
+  /// destructor knows whether it still must untrack itself.
+  std::uint64_t track_timed(const void* p, Channel** armed_slot) {
     const std::uint64_t gen = ++timed_gen_;
-    timed_waiters_.push_back({p, gen});
+    *armed_slot = this;
+    timed_waiters_.push_back({p, gen, armed_slot});
     return gen;
   }
 
@@ -240,6 +293,7 @@ class Channel {
     auto it = std::find_if(timed_waiters_.begin(), timed_waiters_.end(),
                            [p](const TimedEntry& e) { return e.waiter == p; });
     if (it == timed_waiters_.end()) return false;
+    *it->armed_slot = nullptr;
     timed_waiters_.erase(it);
     return true;
   }
@@ -253,6 +307,7 @@ class Channel {
                              return e.waiter == p && e.gen == gen;
                            });
     if (it == timed_waiters_.end()) return false;
+    *it->armed_slot = nullptr;
     timed_waiters_.erase(it);
     return true;
   }
@@ -278,6 +333,7 @@ class Channel {
   struct TimedEntry {
     const void* waiter;
     std::uint64_t gen;
+    Channel** armed_slot;  // the waiter's `armed_` member, see track_timed()
   };
 
   std::deque<SendAwaitable*> send_waiters_;

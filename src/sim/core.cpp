@@ -51,38 +51,39 @@ void Core::start_compute(ComputeAwaitable* aw) {
   }
   auto [start, end] = reserve(aw->cycles);
   aw->finish = end;
-  aw->epoch = fail_epoch_;
-  aw->issue = ++issue_seq_;
+  aw->issue = make_issue_tag();
   const std::uint64_t issue = aw->issue;
   active_.push_back(aw);
   // Record trace events at their proper timestamps (via kernel events) so
   // the trace stays chronological even when several cores overlap. Both
-  // events go stale when the core crashes before they run: fail() parks
-  // the awaitable immediately (fail_epoch_ mismatch), and a later
-  // recover()/migrate_parked() re-issues the whole block under a fresh
-  // issue tag — without the tag, a re-issue *before* the original end
-  // event's timestamp would revalidate the stale event (aw->epoch is
-  // reset to the live epoch) and the block would complete twice,
-  // resuming a finished coroutine.
-  kernel_.schedule_at(start, [aw, issue] {
-    if (aw->issue != issue) return;
-    Core& c = *aw->core;
-    if (aw->epoch != c.fail_epoch_) return;
-    c.current_label_ = aw->label;
-    c.tracer_.record(c.kernel_.now(), TraceKind::kComputeStart, c.id_,
-                     aw->label, aw->cycles, 0);
+  // events go stale when the core crashes before they run: fail() moves
+  // the awaitable from active_ to parked_, and a later recover()/
+  // migrate_parked() re-issues the whole block under a fresh globally
+  // unique tag. Each event captures the core that issued it (`self`) and
+  // validates via is_active(): membership in self->active_ is a
+  // pointer-only scan, so a stale event whose awaitable migrated away —
+  // and whose coroutine frame may have completed and been freed on the
+  // survivor — never dereferences `aw`; tags are globally unique, so a
+  // stale tag can never coincide with a re-issue on another core.
+  // Without the tag, a same-core re-issue landing back in active_ before
+  // the original end event's timestamp would revalidate the stale event
+  // and the block would complete twice, resuming a finished coroutine.
+  Core* self = this;
+  kernel_.schedule_at(start, [self, aw, issue] {
+    if (!self->is_active(aw, issue)) return;
+    self->current_label_ = aw->label;
+    self->tracer_.record(self->kernel_.now(), TraceKind::kComputeStart,
+                         self->id_, aw->label, aw->cycles, 0);
   });
-  kernel_.schedule_at(end, [aw, start, issue] {
-    if (aw->issue != issue) return;
-    Core& c = *aw->core;
-    if (aw->epoch != c.fail_epoch_) return;
-    std::erase(c.active_, aw);
-    c.tracer_.record(c.kernel_.now(), TraceKind::kComputeEnd, c.id_,
-                     aw->label, aw->cycles, 0);
-    if (c.perf_)
-      c.perf_->on_compute_block(c.id_, aw->label, aw->cycles, start,
-                                c.kernel_.now());
-    c.current_label_ = "<idle>";
+  kernel_.schedule_at(end, [self, aw, start, issue] {
+    if (!self->is_active(aw, issue)) return;
+    std::erase(self->active_, aw);
+    self->tracer_.record(self->kernel_.now(), TraceKind::kComputeEnd,
+                         self->id_, aw->label, aw->cycles, 0);
+    if (self->perf_)
+      self->perf_->on_compute_block(self->id_, aw->label, aw->cycles, start,
+                                    self->kernel_.now());
+    self->current_label_ = "<idle>";
     aw->handle.resume();
   });
 }
@@ -92,8 +93,9 @@ void Core::fail() {
   failed_ = true;
   ++fail_count_;
   last_fail_time_ = kernel_.now();
-  ++fail_epoch_;  // every scheduled start/end event of this core goes stale
   // In-flight work is lost: park it for a later recover()/migrate_parked().
+  // Leaving active_ is what invalidates the blocks' pending start/end
+  // events (see the is_active() checks in start_compute).
   for (ComputeAwaitable* aw : active_) parked_.push_back(aw);
   active_.clear();
   busy_until_ = kernel_.now();  // the flushed reservations no longer occupy

@@ -8,6 +8,7 @@
 // inspect while the system is suspended (Sec. VII).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <coroutine>
 #include <cstdint>
@@ -68,8 +69,7 @@ class Core {
     std::string label;
     TimePs finish = 0;
     std::coroutine_handle<> handle{};
-    std::uint64_t epoch = 0;  // fail-epoch the reservation was made under
-    std::uint64_t issue = 0;  // issuance generation (see start_compute)
+    std::uint64_t issue = 0;  // globally-unique issue tag (see start_compute)
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h);
@@ -136,6 +136,24 @@ class Core {
   /// trace + resume events, or park `aw` when the core is crashed.
   void start_compute(ComputeAwaitable* aw);
 
+  /// Globally-unique issue tag: this core's id in the high 32 bits over a
+  /// per-core monotonic count. A tag captured by a scheduled event can
+  /// therefore never collide with a re-issue on another core (distinct id
+  /// bits) nor with a later re-issue on this core (monotonic count).
+  [[nodiscard]] std::uint64_t make_issue_tag() {
+    return (static_cast<std::uint64_t>(id_.value()) << 32) | ++issue_seq_;
+  }
+
+  /// Event-side validity check for a pending start/end event issued by
+  /// *this* core: `aw` must still be in our active_ list (a pointer-only
+  /// membership scan — safe even when `aw` is dangling) and, once known
+  /// live, still carry the issue tag the event captured.
+  [[nodiscard]] bool is_active(const ComputeAwaitable* aw,
+                               std::uint64_t issue) const {
+    return std::find(active_.begin(), active_.end(), aw) != active_.end() &&
+           aw->issue == issue;
+  }
+
   Kernel& kernel_;
   Tracer& tracer_;
   PerfSink* perf_ = nullptr;
@@ -144,8 +162,7 @@ class Core {
   HertzT freq_;
   HertzT nominal_freq_;
   bool failed_ = false;
-  std::uint64_t fail_epoch_ = 0;  // invalidates events of lost reservations
-  std::uint64_t issue_seq_ = 0;   // monotonically tags each (re)issuance
+  std::uint64_t issue_seq_ = 0;  // per-core count under make_issue_tag()
   std::uint64_t fail_count_ = 0;
   std::uint64_t stall_count_ = 0;
   TimePs last_fail_time_ = 0;

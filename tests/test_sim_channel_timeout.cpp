@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -181,6 +182,67 @@ TEST(ChannelTimeout, StaleDeadlineAfterWaiterFinishedIsNoOp) {
   ASSERT_EQ(log.size(), 1u);
   EXPECT_EQ(log[0], "recv:5@" + std::to_string(microseconds(1)));
   EXPECT_EQ(k.now(), microseconds(20));
+}
+
+// A coroutine destroyed *while parked* in recv_for (suspended, never
+// resumed) leaves an armed deadline event behind. The awaitable's
+// destructor must untrack the registration and unpark the waiter, so the
+// deadline later drains as a no-op instead of resuming a freed frame
+// (exercised under ASan in CI).
+Process recv_never_resumed(Chan& ch, std::vector<std::string>& log) {
+  auto r = co_await ch.recv_for(microseconds(10));
+  log.push_back(r.ok() ? "recv" : "timeout");  // must never run
+}
+
+TEST(ChannelTimeout, DeadlineOfWaiterDestroyedMidRunIsDefused) {
+  Kernel k;
+  Chan ch(k, 2, "doomed");
+  std::vector<std::string> log;
+  Process p = recv_never_resumed(ch, log);
+  auto h = p.release();
+  h.resume();  // runs to the recv_for suspension; deadline armed at 10us
+  h.destroy();  // mid-run destruction of the suspended waiter
+  k.run();  // the 10us deadline drains without touching the freed frame
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(k.now(), microseconds(10));
+}
+
+// The reverse teardown order: the channel dies before the parked waiter's
+// frame does. The channel clears the waiter's armed slot on destruction,
+// so the frame's later destructor must not call back into the dead
+// channel.
+TEST(ChannelTimeout, ChannelDestroyedBeforeParkedWaiterFrameIsSafe) {
+  Kernel k;
+  auto ch = std::make_unique<Chan>(k, 1, "short-lived");
+  std::vector<std::string> log;
+  Process p = recv_never_resumed(*ch, log);
+  auto h = p.release();
+  h.resume();   // parked with an armed deadline
+  ch.reset();   // channel gone first
+  h.destroy();  // frame destructor: must be a no-op w.r.t. the channel
+  EXPECT_TRUE(log.empty());
+}
+
+// Same for the send side: a sender parked on a full channel and then
+// destroyed must defuse its deadline and leave the waiter deque.
+Process send_never_resumed(Chan& ch, std::vector<std::string>& log) {
+  auto st = co_await ch.send_for(7, microseconds(10));
+  log.push_back(st.ok() ? "sent" : "drop");  // must never run
+}
+
+TEST(ChannelTimeout, SendDeadlineOfDestroyedWaiterIsDefused) {
+  Kernel k;
+  Chan ch(k, 1, "full-doomed");
+  ASSERT_TRUE(ch.try_send(1));  // fill the single slot so send_for parks
+  std::vector<std::string> log;
+  Process p = send_never_resumed(ch, log);
+  auto h = p.release();
+  h.resume();
+  h.destroy();
+  k.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(ch.total_sent(), 1u);  // the parked message died with its frame
+  EXPECT_EQ(k.now(), microseconds(10));
 }
 
 }  // namespace

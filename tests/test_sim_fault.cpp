@@ -89,6 +89,48 @@ TEST(CoreFault, MigrateParkedResumesOnSurvivor) {
   EXPECT_GE(done, 1);
 }
 
+// Regression: issue tags must be globally unique, not per-core. Here the
+// survivor (core 1) has issued zero blocks when the parked block migrates
+// to it, so with per-core counters the re-issue would reuse tag value 1 —
+// exactly the tag the stale end event (still pending at the original
+// 10us finish time) captured on core 0. That stale event must stay dead:
+// one resume, at the migrated finish time, not two.
+TEST(CoreFault, StaleEndEventAfterMigrationNeverDoubleResumes) {
+  Platform p(PlatformConfig::homogeneous(2));
+  int done = 0;
+  spawn(p.kernel(), compute_items(p, 0, 1, 4000, done));  // ends at 10us
+  p.kernel().schedule_at(microseconds(5), [&] {
+    p.core(0).fail();
+    EXPECT_EQ(p.core(0).migrate_parked(p.core(1)), 1u);
+  });
+  p.kernel().run();
+
+  EXPECT_EQ(done, 1);  // exactly one resume, from the re-issued end event
+  EXPECT_EQ(p.kernel().now(), microseconds(15));  // 5us crash + 10us rerun
+  EXPECT_EQ(p.core(1).cycles_executed(), 4000u);
+}
+
+// Regression: migrating to a *faster* survivor finishes the block — and
+// destroys the coroutine frame holding the awaitable — before the failed
+// core's original end event ever fires. That stale event must validate
+// without dereferencing the freed awaitable (the ASan job enforces this)
+// and then do nothing.
+TEST(CoreFault, StaleEndEventOutlivingMigratedFrameIsDefused) {
+  Platform p(PlatformConfig::homogeneous(2));
+  p.core(1).set_frequency(ghz(4));  // 10x the 400MHz default
+  int done = 0;
+  spawn(p.kernel(), compute_items(p, 0, 1, 40'000, done));  // 100us on core 0
+  p.kernel().schedule_at(microseconds(5), [&] {
+    p.core(0).fail();
+    p.core(0).migrate_parked(p.core(1));
+  });
+  p.kernel().run();
+
+  EXPECT_EQ(done, 1);  // resumed once, at 15us, on the fast survivor
+  // The stale 100us end event still drains — as a no-op.
+  EXPECT_EQ(p.kernel().now(), microseconds(100));
+}
+
 TEST(CoreFault, StallDelaysWithoutLosingWork) {
   auto run = [](bool with_stall) {
     Platform p(PlatformConfig::homogeneous(1));
