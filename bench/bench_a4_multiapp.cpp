@@ -3,10 +3,17 @@
 // best-effort apps competing for one terminal. Static reservation for the
 // hard app must hold its deadlines at any load; the best-effort tier
 // absorbs the overload.
+//
+// Since rw::ert, every app is described once as an ert::JobSpec (built
+// from the shared maps::pipeline_taskgraph template — the bench-local
+// pipeline builder is gone) and converted to a multiapp descriptor with
+// taskgraph_from_jobspec, exercising the one-API round trip the adapters
+// guarantee.
 #include <cstdio>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "ert/adapters.hpp"
 #include "maps/multiapp.hpp"
 #include "maps/workloads.hpp"
 
@@ -15,18 +22,10 @@ namespace {
 using namespace rw;
 using namespace rw::maps;
 
-TaskGraph pipeline_app(const std::string& name, Cycles stage,
-                       DurationPs period, sched::Criticality crit) {
-  TaskGraph g;
-  g.name = name;
-  const auto a = g.add_task(name + "_rx", stage / 2);
-  const auto b = g.add_task(name + "_proc", stage);
-  const auto c = g.add_task(name + "_tx", stage / 2);
-  g.add_edge(a, b, 512);
-  g.add_edge(b, c, 512);
-  g.annotation.period = period;
-  g.annotation.criticality = crit;
-  return g;
+ert::JobSpec pipeline_jobspec(const std::string& name, Cycles stage,
+                              DurationPs period, sched::Criticality crit) {
+  return ert::jobspec_from_taskgraph(
+      pipeline_taskgraph(name, stage, period, crit));
 }
 
 }  // namespace
@@ -45,15 +44,19 @@ int main() {
            "soft worst latency", "BE worst latency", "PE util"});
 
   for (const int extra : {0, 1, 2, 4, 6, 8}) {
-    std::vector<TaskGraph> apps;
-    apps.push_back(pipeline_app("radio", 160'000, milliseconds(1),
-                                sched::Criticality::kHard));
+    std::vector<ert::JobSpec> specs;
+    specs.push_back(pipeline_jobspec("radio", 160'000, milliseconds(1),
+                                     sched::Criticality::kHard));
     for (int i = 0; i < extra; ++i) {
-      apps.push_back(pipeline_app(
+      specs.push_back(pipeline_jobspec(
           rw::strformat("app%d", i), 400'000, milliseconds(4),
           i % 2 == 0 ? sched::Criticality::kSoft
                      : sched::Criticality::kBestEffort));
     }
+    std::vector<TaskGraph> apps;
+    apps.reserve(specs.size());
+    for (const ert::JobSpec& spec : specs)
+      apps.push_back(ert::taskgraph_from_jobspec(spec));
     const auto r = simulate_multiapp(apps, cfg);
 
     DurationPs soft_worst = 0, be_worst = 0;

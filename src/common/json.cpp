@@ -139,4 +139,10 @@ Writer& Writer::null() {
   return *this;
 }
 
+Writer& Writer::raw(std::string_view json) {
+  prepare_value();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace rw::json

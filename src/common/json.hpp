@@ -44,6 +44,12 @@ class Writer {
   Writer& value(bool v);
   Writer& null();
 
+  /// Splice a pre-rendered JSON document in value position. The caller
+  /// vouches that `json` is itself valid JSON; the writer only handles
+  /// the surrounding comma/key bookkeeping. Used to embed a legacy tool
+  /// document as the payload of an envelope without re-parsing it.
+  Writer& raw(std::string_view json);
+
   /// The document so far. Call once nesting is back to depth zero.
   [[nodiscard]] const std::string& str() const { return out_; }
 

@@ -1,0 +1,91 @@
+#include "ert/templates.hpp"
+
+#include <stdexcept>
+
+#include "ert/adapters.hpp"
+
+namespace rw::ert {
+namespace {
+
+JobSpec pipeline_template(std::uint64_t scale) {
+  JobSpec spec;
+  spec.name = "pipeline";
+  auto& g = spec.graph;
+  g.name = spec.name;
+  const auto rx = g.add_task("rx", 20'000 * scale);
+  const auto dec = g.add_task("decode", 40'000 * scale);
+  const auto proc = g.add_task("process", 40'000 * scale);
+  const auto tx = g.add_task("tx", 20'000 * scale);
+  g.add_edge(rx, dec, 2048);
+  g.add_edge(dec, proc, 2048);
+  g.add_edge(proc, tx, 1024);
+  spec.max_cores = 2;  // a chain can overlap at most its comm slack
+  return spec;
+}
+
+JobSpec forkjoin_template(std::uint64_t scale) {
+  JobSpec spec;
+  spec.name = "forkjoin";
+  auto& g = spec.graph;
+  g.name = spec.name;
+  const auto src = g.add_task("scatter", 8'000 * scale);
+  const auto join = g.add_task("gather", 8'000 * scale);
+  for (int i = 0; i < 6; ++i) {
+    const auto mid = g.add_task("work" + std::to_string(i),
+                                30'000 * scale);
+    g.add_edge(src, mid, 1024);
+    g.add_edge(mid, join, 1024);
+  }
+  spec.max_cores = 6;
+  return spec;
+}
+
+JobSpec diamond_template(std::uint64_t scale) {
+  JobSpec spec;
+  spec.name = "diamond";
+  auto& g = spec.graph;
+  g.name = spec.name;
+  const auto a = g.add_task("a", 10'000 * scale);
+  const auto b = g.add_task("b", 25'000 * scale);
+  const auto c = g.add_task("c", 25'000 * scale);
+  const auto d = g.add_task("d", 10'000 * scale);
+  g.add_edge(a, b, 512);
+  g.add_edge(a, c, 512);
+  g.add_edge(b, d, 512);
+  g.add_edge(c, d, 512);
+  spec.max_cores = 2;
+  return spec;
+}
+
+JobSpec cic_chain_template(std::uint64_t scale) {
+  cic::CicProgram prog("cic_chain");
+  const auto src = prog.add_task("source", 6'000, {}, {"out"});
+  const auto filt = prog.add_task("filter", 18'000, {"in"}, {"out"});
+  const auto sink = prog.add_task("sink", 6'000, {"in"}, {});
+  prog.set_period(src, microseconds(10));
+  prog.set_deadline(sink, microseconds(40));  // realtime via jobspec_from_cic
+  if (auto c = prog.connect(src, "out", filt, "in"); !c.ok())
+    throw std::runtime_error(c.error().to_string());
+  if (auto c = prog.connect(filt, "out", sink, "in"); !c.ok())
+    throw std::runtime_error(c.error().to_string());
+  JobSpec spec = jobspec_from_cic(prog, scale);
+  spec.max_cores = 1;  // a chain gains nothing from a wider gang
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> template_names() {
+  return {"pipeline", "forkjoin", "diamond", "cic_chain"};
+}
+
+JobSpec make_template(const std::string& name, std::uint64_t scale) {
+  if (scale == 0) scale = 1;
+  if (name == "pipeline") return pipeline_template(scale);
+  if (name == "forkjoin") return forkjoin_template(scale);
+  if (name == "diamond") return diamond_template(scale);
+  if (name == "cic_chain") return cic_chain_template(scale);
+  throw std::invalid_argument("unknown ert job template: " + name);
+}
+
+}  // namespace rw::ert

@@ -1,0 +1,27 @@
+// Canonical JobSpec templates.
+//
+// The rwert CLI, bench_e15 and the tests all need small representative
+// jobs; building them here (instead of per-caller) keeps every consumer
+// on identical, deterministically named workloads. The cic_chain template
+// goes through jobspec_from_cic, so the CIC submission path is exercised
+// by the same registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ert/job.hpp"
+
+namespace rw::ert {
+
+/// Registered template names, in registry order.
+[[nodiscard]] std::vector<std::string> template_names();
+
+/// Build a template job. `scale` multiplies the per-task cycle counts
+/// (scale 1 jobs run tens of microseconds on a 400 MHz core). Throws on
+/// an unknown name.
+[[nodiscard]] JobSpec make_template(const std::string& name,
+                                    std::uint64_t scale = 1);
+
+}  // namespace rw::ert

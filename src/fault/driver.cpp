@@ -11,16 +11,6 @@ namespace rw::fault {
 
 namespace {
 
-Result<std::uint64_t> arg_u64(const std::vector<std::string>& args,
-                              std::size_t& i, const std::string& flag) {
-  if (i + 1 >= args.size())
-    return make_error(flag + " requires a value");
-  std::uint64_t v = 0;
-  if (!parse_u64(args[++i], v))
-    return make_error(flag + ": not a number: " + args[i]);
-  return v;
-}
-
 bool write_text(const std::string& path, const std::string& content) {
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) return false;
@@ -117,33 +107,28 @@ Result<FaultOptions> parse_fault_args(const std::vector<std::string>& args) {
   FaultOptions opts;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--list") {
-      opts.list = true;
-    } else if (a == "--json") {
-      opts.json_stdout = true;
-    } else if (a == "--no-files") {
-      opts.write_files = false;
+    if (RW_TRY(cli::parse_common_flag(args, i, opts))) {
+      continue;
     } else if (a == "--mesh") {
       opts.mesh = true;
     } else if (a == "--crashes-only") {
       opts.crashes_only = true;
     } else if (a == "--cores") {
-      opts.cores = static_cast<std::size_t>(RW_TRY(arg_u64(args, i, a)));
+      opts.cores = static_cast<std::size_t>(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.cores == 0) return make_error("--cores must be >= 1");
-    } else if (a == "--seed") {
-      opts.seed = RW_TRY(arg_u64(args, i, a));
     } else if (a == "--items") {
-      opts.items = RW_TRY(arg_u64(args, i, a));
+      opts.items = RW_TRY(cli::arg_u64(args, i, a));
       if (opts.items == 0) return make_error("--items must be >= 1");
     } else if (a == "--rate") {
-      opts.rate_per_ms = RW_TRY(arg_u64(args, i, a));
+      opts.rate_per_ms = RW_TRY(cli::arg_u64(args, i, a));
     } else if (a == "--timeout-us") {
-      opts.watchdog_timeout = microseconds(RW_TRY(arg_u64(args, i, a)));
+      opts.watchdog_timeout = microseconds(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.watchdog_timeout == 0)
         return make_error("--timeout-us must be >= 1");
-    } else if (a == "--out-dir") {
-      if (i + 1 >= args.size()) return make_error("--out-dir requires a value");
-      opts.out_dir = args[++i];
+    } else if (a == "--help" || a == "-h") {
+      return make_error(std::string("usage: rwfault ") + cli::common_usage() +
+                        " [--mesh] [--crashes-only] [--cores N] [--items K]"
+                        " [--rate R] [--timeout-us U] [policy...]");
     } else if (!a.empty() && a[0] == '-') {
       return make_error("unknown option: " + a);
     } else {
@@ -211,7 +196,11 @@ FaultReport run_fault(const FaultOptions& opts, std::ostream& out) {
   }
 
   if (opts.json_stdout) {
-    out << fault_json(opts, rep.outcomes);
+    const std::string legacy = fault_json(opts, rep.outcomes);
+    if (opts.legacy_json)
+      out << legacy;
+    else
+      out << cli::envelope("rwfault", opts.seed, legacy) << "\n";
     return rep;
   }
 

@@ -11,22 +11,20 @@
 #include "common/result.hpp"
 #include "common/units.hpp"
 #include "fault/scenario.hpp"
+#include "tools/cli_common.hpp"
 
 namespace rw::fault {
 
-struct FaultOptions {
+/// Shared flags (--list/--json/--legacy-json/--no-files/--seed/--out-dir)
+/// come from cli::CommonOptions; only the tool-specific ones live here.
+struct FaultOptions : cli::CommonOptions {
   std::vector<RecoveryPolicy> policies;  // empty = all three
-  bool list = false;                     // --list: policies + fault kinds
-  bool json_stdout = false;              // --json: combined doc, no tables
-  bool write_files = true;               // write FAULT_<policy>.json
   std::size_t cores = 4;                 // --cores N
   bool mesh = false;                     // --mesh
-  std::uint64_t seed = 1;                // --seed S
   std::uint64_t items = 48;              // --items K (pipeline length)
   std::uint64_t rate_per_ms = 50;        // --rate R (faults per sim ms)
   bool crashes_only = false;             // --crashes-only
   DurationPs watchdog_timeout = microseconds(50);  // --timeout-us U
-  std::string out_dir = ".";
 };
 
 /// Parse rwfault's argv (without argv[0]).

@@ -28,22 +28,15 @@ std::vector<std::string> split_csv(const std::string& s) {
 Result<DriverOptions> parse_driver_args(
     const std::vector<std::string>& args) {
   DriverOptions opts;
-  for (const auto& a : args) {
-    if (a == "--list") {
-      opts.list = true;
-    } else if (a == "--json") {
-      opts.json_stdout = true;
-    } else if (a == "--no-files") {
-      opts.write_files = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (RW_TRY(cli::parse_common_flag(args, i, opts))) {
+      continue;
     } else if (a.rfind("--passes=", 0) == 0) {
       for (auto& p : split_csv(a.substr(9))) opts.passes.insert(p);
-    } else if (a.rfind("--out=", 0) == 0) {
-      opts.out_dir = a.substr(6);
-      if (opts.out_dir.empty()) opts.out_dir = ".";
     } else if (a == "--help" || a == "-h") {
-      return make_error(
-          "usage: rwlint [--list] [--json] [--no-files] [--passes=a,b]"
-          " [--out=DIR] [program...]");
+      return make_error(std::string("usage: rwlint ") + cli::common_usage() +
+                        " [--passes=a,b] [program...]");
     } else if (!a.empty() && a[0] == '-') {
       return make_error("unknown option: " + a);
     } else {
@@ -150,7 +143,13 @@ DriverReport run_driver(const DriverOptions& opts, std::ostream& out) {
     report.outcomes.push_back(std::move(outcome));
   }
 
-  if (opts.json_stdout) out << driver_json(report.outcomes) << "\n";
+  if (opts.json_stdout) {
+    const std::string legacy = driver_json(report.outcomes);
+    if (opts.legacy_json)
+      out << legacy << "\n";
+    else
+      out << cli::envelope("rwlint", opts.seed, legacy) << "\n";
+  }
   return report;
 }
 

@@ -12,16 +12,15 @@
 #include "common/result.hpp"
 #include "lint/corpus.hpp"
 #include "lint/pass.hpp"
+#include "tools/cli_common.hpp"
 
 namespace rw::lint {
 
-struct DriverOptions {
+/// Shared flags (--list/--json/--legacy-json/--no-files/--seed/--out-dir)
+/// come from cli::CommonOptions; only the tool-specific ones live here.
+struct DriverOptions : cli::CommonOptions {
   std::vector<std::string> programs;  // empty = the whole corpus
   std::set<std::string> passes;       // empty = all default passes
-  bool list = false;        // --list: print corpus and exit
-  bool json_stdout = false; // --json: one combined JSON doc, no tables
-  bool write_files = true;  // write LINT_<name>.json per program
-  std::string out_dir = ".";
 };
 
 /// Parse rwlint's argv (without argv[0]).

@@ -86,4 +86,18 @@ SeqProgram mixed_kind_program(std::uint32_t kernels) {
   return p;
 }
 
+TaskGraph pipeline_taskgraph(const std::string& name, Cycles stage_cycles,
+                             DurationPs period, sched::Criticality crit) {
+  TaskGraph g;
+  g.name = name;
+  const auto a = g.add_task(name + "_rx", stage_cycles / 2);
+  const auto b = g.add_task(name + "_proc", stage_cycles);
+  const auto c = g.add_task(name + "_tx", stage_cycles / 2);
+  g.add_edge(a, b, 512);
+  g.add_edge(b, c, 512);
+  g.annotation.period = period;
+  g.annotation.criticality = crit;
+  return g;
+}
+
 }  // namespace rw::maps

@@ -31,4 +31,11 @@ TaskGraph h264_encoder_taskgraph(std::uint32_t slices = 4);
 /// statements prefer the RISC, kernels the DSP.
 SeqProgram mixed_kind_program(std::uint32_t kernels = 6);
 
+/// Canonical 3-stage rx -> proc -> tx pipeline with RT annotations — the
+/// terminal app shape the multi-application benches sweep. Replaces the
+/// bench-local duplicates (bench_a4's pipeline_app); new callers should
+/// describe work as an ert::JobSpec and convert via the ert adapters.
+TaskGraph pipeline_taskgraph(const std::string& name, Cycles stage_cycles,
+                             DurationPs period, sched::Criticality crit);
+
 }  // namespace rw::maps

@@ -12,51 +12,32 @@
 
 namespace rw::perf {
 
-namespace {
-
-Result<std::uint64_t> arg_u64(const std::vector<std::string>& args,
-                              std::size_t& i, const std::string& flag) {
-  if (i + 1 >= args.size())
-    return make_error(flag + " requires a value");
-  std::uint64_t v = 0;
-  if (!parse_u64(args[++i], v))
-    return make_error(flag + ": not a number: " + args[i]);
-  return v;
-}
-
-}  // namespace
-
 Result<ProfOptions> parse_prof_args(const std::vector<std::string>& args) {
   ProfOptions opts;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
-    if (a == "--list") {
-      opts.list = true;
-    } else if (a == "--json") {
-      opts.json_stdout = true;
-    } else if (a == "--no-files") {
-      opts.write_files = false;
+    if (RW_TRY(cli::parse_common_flag(args, i, opts))) {
+      continue;
     } else if (a == "--governor") {
       opts.governor = true;
     } else if (a == "--mesh") {
       opts.mesh = true;
     } else if (a == "--cores") {
-      opts.cores = static_cast<std::size_t>(RW_TRY(arg_u64(args, i, a)));
+      opts.cores = static_cast<std::size_t>(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.cores == 0) return make_error("--cores must be >= 1");
-    } else if (a == "--seed") {
-      opts.seed = RW_TRY(arg_u64(args, i, a));
     } else if (a == "--scale") {
-      opts.scale = RW_TRY(arg_u64(args, i, a));
+      opts.scale = RW_TRY(cli::arg_u64(args, i, a));
       if (opts.scale == 0) return make_error("--scale must be >= 1");
     } else if (a == "--period-us") {
-      opts.period = microseconds(RW_TRY(arg_u64(args, i, a)));
+      opts.period = microseconds(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.period == 0) return make_error("--period-us must be >= 1");
     } else if (a == "--epoch-us") {
-      opts.epoch = microseconds(RW_TRY(arg_u64(args, i, a)));
+      opts.epoch = microseconds(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.epoch == 0) return make_error("--epoch-us must be >= 1");
-    } else if (a == "--out-dir") {
-      if (i + 1 >= args.size()) return make_error("--out-dir requires a value");
-      opts.out_dir = args[++i];
+    } else if (a == "--help" || a == "-h") {
+      return make_error(std::string("usage: rwprof ") + cli::common_usage() +
+                        " [--governor] [--mesh] [--cores N] [--scale K]"
+                        " [--period-us U] [--epoch-us U] [workload...]");
     } else if (!a.empty() && a[0] == '-') {
       return make_error("unknown option: " + a);
     } else {
@@ -207,7 +188,11 @@ ProfReport run_prof(const ProfOptions& opts, std::ostream& out) {
   }
 
   if (opts.json_stdout) {
-    out << prof_json(rep.outcomes);
+    const std::string legacy = prof_json(rep.outcomes);
+    if (opts.legacy_json)
+      out << legacy;
+    else
+      out << cli::envelope("rwprof", opts.seed, legacy) << "\n";
   } else {
     for (const auto& oc : rep.outcomes) print_outcome(opts, oc, out);
   }

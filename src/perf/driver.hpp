@@ -11,22 +11,20 @@
 #include "common/result.hpp"
 #include "common/units.hpp"
 #include "perf/session.hpp"
+#include "tools/cli_common.hpp"
 
 namespace rw::perf {
 
-struct ProfOptions {
+/// Shared flags (--list/--json/--legacy-json/--no-files/--seed/--out-dir)
+/// come from cli::CommonOptions; only the tool-specific ones live here.
+struct ProfOptions : cli::CommonOptions {
   std::vector<std::string> workloads;  // empty = every registered workload
-  bool list = false;          // --list: print the registry and exit
-  bool json_stdout = false;   // --json: one combined JSON doc, no tables
-  bool write_files = true;    // write PERF_<name>.* per workload
   bool governor = false;      // --governor: run the PMU-fed DVFS governor
   std::size_t cores = 4;      // --cores N
   bool mesh = false;          // --mesh: 2-D NoC instead of the shared bus
-  std::uint64_t seed = 1;     // --seed S
   std::uint64_t scale = 8;    // --scale K (iteration multiplier)
   DurationPs period = microseconds(10);  // --period-us U (sampler)
   DurationPs epoch = microseconds(50);   // --epoch-us U (window width)
-  std::string out_dir = ".";
 };
 
 /// Parse rwprof's argv (without argv[0]).

@@ -1,11 +1,40 @@
 #include "sched/spacealloc.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <queue>
 #include <stdexcept>
 
 namespace rw::sched {
+
+SpaceAllocator::SpaceAllocator(std::size_t capacity, std::size_t base)
+    : base_(base), free_count_(capacity), free_(capacity, true) {}
+
+std::vector<std::size_t> SpaceAllocator::allocate(std::size_t min_cores,
+                                                  std::size_t max_cores) {
+  if (min_cores == 0 || min_cores > max_cores || min_cores > free_count_)
+    return {};
+  const std::size_t want = std::min(max_cores, free_count_);
+  std::vector<std::size_t> granted;
+  granted.reserve(want);
+  for (std::size_t i = 0; i < free_.size() && granted.size() < want; ++i) {
+    if (!free_[i]) continue;
+    free_[i] = false;
+    granted.push_back(base_ + i);
+  }
+  free_count_ -= granted.size();
+  return granted;
+}
+
+void SpaceAllocator::release(const std::vector<std::size_t>& cores) {
+  for (const std::size_t c : cores) {
+    assert(c >= base_ && c - base_ < free_.size() && "foreign core index");
+    assert(!free_[c - base_] && "double release");
+    free_[c - base_] = true;
+  }
+  free_count_ += cores.size();
+}
 
 const char* arbitration_name(ArbitrationStrategy s) {
   switch (s) {
@@ -71,7 +100,8 @@ GangResult run_gang_schedule(const GangConfig& cfg,
     events.push(Event{requests[i].arrival, false, i});
   }
 
-  std::size_t free_cores = cfg.total_cores;
+  SpaceAllocator alloc(cfg.total_cores);
+  std::vector<std::vector<std::size_t>> granted_cores(requests.size());
   std::deque<std::size_t> pending;  // FIFO admission
   std::vector<TimePs> arbiter_free(num_arbiters, 0);
 
@@ -89,10 +119,10 @@ GangResult run_gang_schedule(const GangConfig& cfg,
     while (!pending.empty()) {
       const std::size_t idx = pending.front();
       const ParallelApp& app = requests[idx].app;
-      const std::size_t want = std::min(app.max_cores, free_cores);
+      const std::size_t want = std::min(app.max_cores, alloc.available());
       if (want < app.min_cores || want == 0) break;  // head-of-line waits
       pending.pop_front();
-      free_cores -= want;
+      granted_cores[idx] = alloc.allocate(app.min_cores, app.max_cores);
 
       const TimePs granted = arbitrate(idx, now);
       const double span = app.span_cycles(want, cfg.serial_boost);
@@ -112,7 +142,8 @@ GangResult run_gang_schedule(const GangConfig& cfg,
       // Release also passes through the arbiter; cores are free once the
       // release operation completes.
       const TimePs released = arbitrate(ev.idx, ev.time);
-      free_cores += res.apps[ev.idx].cores;
+      alloc.release(granted_cores[ev.idx]);
+      granted_cores[ev.idx].clear();
       res.metrics.makespan = std::max(res.metrics.makespan, ev.time);
       try_allocate(released);
     } else {

@@ -18,6 +18,45 @@
 
 namespace rw::sched {
 
+/// Stateful free-list over a contiguous range of core indices
+/// [base, base+capacity). run_gang_schedule drives one internally, and
+/// rw::ert's admission controller owns one per resource pool — the
+/// `available()` query is the public capacity probe the controller needs
+/// (instead of poking at allocator internals).
+///
+/// Grants are deterministic: the lowest free indices first, so identical
+/// request sequences reproduce identical core sets.
+class SpaceAllocator {
+ public:
+  explicit SpaceAllocator(std::size_t capacity, std::size_t base = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return free_.size(); }
+  /// Cores currently free (the admission-controller query).
+  [[nodiscard]] std::size_t available() const { return free_count_; }
+  [[nodiscard]] std::size_t in_use() const {
+    return free_.size() - free_count_;
+  }
+  /// First index of the managed range (pools can be carved out of one
+  /// global index space without colliding).
+  [[nodiscard]] std::size_t base() const { return base_; }
+
+  /// Grant between `min_cores` and `max_cores` cores (as many as are
+  /// free, capped at max). Returns the granted indices in ascending
+  /// order, or an empty vector when fewer than `min_cores` are free
+  /// (or min_cores is 0 or exceeds max_cores).
+  [[nodiscard]] std::vector<std::size_t> allocate(std::size_t min_cores,
+                                                  std::size_t max_cores);
+
+  /// Return previously granted cores to the pool. Double-release or a
+  /// foreign index is a programming error (asserted).
+  void release(const std::vector<std::size_t>& cores);
+
+ private:
+  std::size_t base_ = 0;
+  std::size_t free_count_ = 0;
+  std::vector<bool> free_;  // free_[i] => core base_+i is free
+};
+
 enum class ArbitrationStrategy : std::uint8_t {
   kCentralized,  // one arbiter serializes every allocate/release
   kDistributed,  // one arbiter per cluster of cores

@@ -1,0 +1,502 @@
+// rw::ert — the multi-tenant job service and its adapters.
+//
+// The load-bearing properties:
+//   * sched::SpaceAllocator accounting (available()/in_use(), the
+//     admission controller's view);
+//   * a single-tenant single-job Session reproduces run_jobspec_direct()
+//     exactly (the service adds zero residue to execution metrics);
+//   * determinism: results are a pure function of the submitted
+//     (tenant, seq, spec) set — concurrent submitters, submission
+//     interleaving and neighbor load change nothing they shouldn't;
+//   * tenant isolation: reserved tenants' completion fingerprints are
+//     invariant under any other tenant's behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ert/adapters.hpp"
+#include "ert/driver.hpp"
+#include "ert/service.hpp"
+#include "ert/templates.hpp"
+#include "harness/harness.hpp"
+#include "maps/workloads.hpp"
+#include "sched/spacealloc.hpp"
+#include "tools/cli_common.hpp"
+
+namespace rw::ert {
+namespace {
+
+// ----------------------------------------------------------- SpaceAllocator
+
+TEST(SpaceAllocator, AccountingAndLowestFirstAllocation) {
+  sched::SpaceAllocator alloc(4);
+  EXPECT_EQ(alloc.capacity(), 4u);
+  EXPECT_EQ(alloc.available(), 4u);
+  EXPECT_EQ(alloc.in_use(), 0u);
+
+  const auto a = alloc.allocate(2, 2);
+  ASSERT_EQ(a, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(alloc.available(), 2u);
+  EXPECT_EQ(alloc.in_use(), 2u);
+
+  // Moldable: take as many as available up to max.
+  const auto b = alloc.allocate(1, 3);
+  ASSERT_EQ(b, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(alloc.available(), 0u);
+
+  // min > available: nothing allocated, state untouched.
+  EXPECT_TRUE(alloc.allocate(1, 1).empty());
+  EXPECT_EQ(alloc.in_use(), 4u);
+
+  alloc.release(a);
+  EXPECT_EQ(alloc.available(), 2u);
+  // Freed indices are reused lowest-first.
+  EXPECT_EQ(alloc.allocate(1, 1), (std::vector<std::size_t>{0}));
+}
+
+TEST(SpaceAllocator, BaseOffsetShiftsIndices) {
+  sched::SpaceAllocator alloc(3, /*base=*/8);
+  EXPECT_EQ(alloc.base(), 8u);
+  const auto a = alloc.allocate(2, 2);
+  EXPECT_EQ(a, (std::vector<std::size_t>{8, 9}));
+  alloc.release(a);
+  EXPECT_EQ(alloc.available(), 3u);
+}
+
+// ------------------------------------------------------------ direct path
+
+TEST(ErtService, SingleJobReproducesDirectPathExactly) {
+  for (const std::string& name : template_names()) {
+    const JobSpec spec = make_template(name);
+    ServiceConfig cfg;
+    const auto direct = run_jobspec_direct(spec, cfg);
+    ASSERT_TRUE(direct.ok()) << name;
+
+    Service service(cfg);
+    auto session = service.open_session(TenantConfig{.name = "solo"});
+    ASSERT_TRUE(session.ok());
+    const JobHandle handle = session.value().submit(spec);
+    const auto& outcome = handle.result();
+    ASSERT_TRUE(outcome.ok()) << outcome.error().to_string();
+
+    // Execution metrics are bit-identical; queueing lives only in the
+    // JobResult timestamps.
+    EXPECT_TRUE(outcome.value().metrics.sim_equal(direct.value())) << name;
+    EXPECT_EQ(outcome.value().cores,
+              std::min(spec.max_cores, cfg.total_cores));
+    EXPECT_EQ(outcome.value().started, cfg.arbitration_latency);
+    EXPECT_EQ(outcome.value().finished,
+              cfg.arbitration_latency + direct.value().makespan);
+  }
+}
+
+TEST(ErtService, HandleStatesAndRepeatedResultCalls) {
+  JobHandle empty;
+  EXPECT_FALSE(empty.valid());
+
+  Service service(ServiceConfig{});
+  auto session = service.open_session(TenantConfig{.name = "t"});
+  ASSERT_TRUE(session.ok());
+  const JobHandle h = session.value().submit(make_template("diamond"));
+  EXPECT_TRUE(h.valid());
+  EXPECT_FALSE(h.ready());  // nothing drained yet
+  ASSERT_TRUE(h.result().ok());
+  EXPECT_TRUE(h.ready());
+  // result() is idempotent.
+  EXPECT_EQ(h.result().value().finished, h.result().value().finished);
+}
+
+// --------------------------------------------------------------- admission
+
+TEST(ErtService, ValidationRejectionsSurfaceAsErrors) {
+  Service service(ServiceConfig{.total_cores = 4});
+  auto session = service.open_session(TenantConfig{.name = "t"});
+  ASSERT_TRUE(session.ok());
+
+  JobSpec empty;
+  empty.name = "empty";
+  const JobHandle h1 = session.value().submit(empty);
+  ASSERT_FALSE(h1.result().ok());
+  EXPECT_NE(h1.result().error().to_string().find("empty task graph"),
+            std::string::npos);
+
+  JobSpec cyclic = make_template("pipeline");
+  cyclic.graph.add_edge(cyclic.graph.tasks().back().id,
+                        cyclic.graph.tasks().front().id, 64);
+  EXPECT_FALSE(session.value().submit(cyclic).result().ok());
+
+  JobSpec wide = make_template("pipeline");
+  wide.min_cores = 5;  // pool only has 4
+  wide.max_cores = 8;
+  EXPECT_FALSE(session.value().submit(wide).result().ok());
+
+  JobSpec inverted = make_template("pipeline");
+  inverted.min_cores = 2;
+  inverted.max_cores = 1;
+  EXPECT_FALSE(session.value().submit(inverted).result().ok());
+
+  JobSpec rt = make_template("pipeline");
+  rt.qos = QosClass::kRealtime;  // no deadline
+  EXPECT_FALSE(session.value().submit(rt).result().ok());
+
+  const TenantStats stats = service.tenant_stats(0);
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected, 5u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ErtService, MaxPendingCapsAdmission) {
+  Service service(ServiceConfig{});
+  auto session = service.open_session(
+      TenantConfig{.name = "t", .max_pending = 2});
+  ASSERT_TRUE(session.ok());
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i)
+    handles.push_back(session.value().submit(make_template("diamond")));
+  // All four enter one ingest batch: two admitted, two rejected.
+  EXPECT_TRUE(handles[0].result().ok());
+  EXPECT_TRUE(handles[1].result().ok());
+  ASSERT_FALSE(handles[2].result().ok());
+  EXPECT_NE(handles[2].result().error().to_string().find("admission"),
+            std::string::npos);
+  EXPECT_FALSE(handles[3].result().ok());
+  const TenantStats stats = service.tenant_stats(0);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+
+  // The cap tracks in-flight work, not lifetime totals: after completion
+  // the tenant can submit again.
+  EXPECT_TRUE(session.value().submit(make_template("diamond")).result().ok());
+}
+
+TEST(ErtService, OpenSessionRejectsBadTenantConfigs) {
+  Service service(ServiceConfig{.total_cores = 4});
+  EXPECT_FALSE(service.open_session(TenantConfig{.name = ""}).ok());
+  ASSERT_TRUE(service.open_session(TenantConfig{.name = "a"}).ok());
+  EXPECT_FALSE(service.open_session(TenantConfig{.name = "a"}).ok());
+  EXPECT_FALSE(
+      service.open_session(TenantConfig{.name = "b", .share = 0.0}).ok());
+  EXPECT_FALSE(
+      service.open_session(TenantConfig{.name = "c", .share = 1.5}).ok());
+  // Reservation rounding to zero cores is an error, not a silent grant.
+  EXPECT_FALSE(service
+                   .open_session(TenantConfig{
+                       .name = "d", .share = 0.1, .reserved = true})
+                   .ok());
+  // A reservation larger than the free pool is refused.
+  ASSERT_TRUE(service
+                  .open_session(TenantConfig{
+                      .name = "e", .share = 0.75, .reserved = true})
+                  .ok());
+  EXPECT_EQ(service.shared_available(), 1u);
+  EXPECT_FALSE(service
+                   .open_session(TenantConfig{
+                       .name = "f", .share = 0.5, .reserved = true})
+                   .ok());
+}
+
+// -------------------------------------------------------------- QoS order
+
+TEST(ErtService, RealtimeOutranksStandardOutranksBatch) {
+  // One core: three same-instant arrivals must start in QoS order.
+  ServiceConfig cfg;
+  cfg.total_cores = 1;
+  Service service(cfg);
+  auto session = service.open_session(TenantConfig{.name = "t"});
+  ASSERT_TRUE(session.ok());
+
+  JobSpec batch = make_template("cic_chain");
+  batch.qos = QosClass::kBatch;
+  batch.deadline = 0;
+  JobSpec standard = make_template("cic_chain");
+  standard.qos = QosClass::kStandard;
+  standard.deadline = 0;
+  JobSpec realtime = make_template("cic_chain");
+  realtime.qos = QosClass::kRealtime;
+  realtime.deadline = milliseconds(10);
+
+  // Submit in inverted priority order; grants must not follow it.
+  const JobHandle hb = session.value().submit(batch);
+  const JobHandle hs = session.value().submit(standard);
+  const JobHandle hr = session.value().submit(realtime);
+  ASSERT_TRUE(hb.result().ok());
+  ASSERT_TRUE(hs.result().ok());
+  ASSERT_TRUE(hr.result().ok());
+  EXPECT_LT(hr.result().value().started, hs.result().value().started);
+  EXPECT_LT(hs.result().value().started, hb.result().value().started);
+}
+
+TEST(ErtService, FairShareCapsSplitContendedPool) {
+  // Two equal-share tenants flooding 8 cores with machine-wide gangs:
+  // under contention each is capped at half the pool, so every granted
+  // gang is exactly 4 wide and the two tenants' records are identical.
+  ServiceConfig cfg;
+  Service service(cfg);
+  auto a = service.open_session(TenantConfig{.name = "a", .share = 0.5});
+  auto b = service.open_session(TenantConfig{.name = "b", .share = 0.5});
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  std::vector<JobHandle> handles;
+  for (int j = 0; j < 4; ++j) {
+    handles.push_back(a.value().submit(make_template("forkjoin")));
+    handles.push_back(b.value().submit(make_template("forkjoin")));
+  }
+  for (const JobHandle& h : handles) {
+    ASSERT_TRUE(h.result().ok());
+    EXPECT_LE(h.result().value().cores, 4u);
+  }
+  const TenantStats sa = service.tenant_stats(0);
+  const TenantStats sb = service.tenant_stats(1);
+  EXPECT_EQ(sa.fingerprint, sb.fingerprint);
+  EXPECT_EQ(sa.peak_cores, 4u);
+  EXPECT_EQ(sb.peak_cores, 4u);
+}
+
+// -------------------------------------------------------------- isolation
+
+/// The victim's fixed submission stream, identical across scenarios.
+std::vector<JobHandle> submit_victim(Session& s) {
+  std::vector<JobHandle> handles;
+  for (int j = 0; j < 6; ++j) {
+    JobSpec spec = make_template(j % 2 == 0 ? "pipeline" : "diamond");
+    spec.arrival = static_cast<TimePs>(j) * microseconds(40);
+    handles.push_back(s.submit(spec));
+  }
+  return handles;
+}
+
+std::uint64_t victim_fingerprint(std::uint64_t neighbor_jobs,
+                                 bool neighbor_first) {
+  ServiceConfig cfg;
+  Service service(cfg);
+  auto victim = service.open_session(TenantConfig{
+      .name = "victim", .share = 0.25, .reserved = true});
+  auto neighbor =
+      service.open_session(TenantConfig{.name = "neighbor", .share = 0.75});
+  EXPECT_TRUE(victim.ok() && neighbor.ok());
+
+  auto flood = [&] {
+    for (std::uint64_t j = 0; j < neighbor_jobs; ++j) {
+      JobSpec spec = make_template("forkjoin");
+      spec.arrival = static_cast<TimePs>(j) * microseconds(3);
+      (void)neighbor.value().submit(std::move(spec));
+    }
+  };
+  if (neighbor_first) flood();
+  auto handles = submit_victim(victim.value());
+  if (!neighbor_first) flood();
+  service.drain();
+  return service.tenant_stats(0).fingerprint;
+}
+
+TEST(ErtIsolation, ReservedTenantFingerprintInvariantUnderNeighborLoad) {
+  const std::uint64_t quiet = victim_fingerprint(0, false);
+  EXPECT_EQ(victim_fingerprint(4, false), quiet);
+  EXPECT_EQ(victim_fingerprint(64, false), quiet);
+  // Submission interleaving is equally invisible.
+  EXPECT_EQ(victim_fingerprint(64, true), quiet);
+}
+
+TEST(ErtIsolation, IdenticalSpecsOnDisjointSharesFingerprintEqually) {
+  // The satellite property: two tenants with identical specs on disjoint
+  // (reserved) shares produce identical per-tenant fingerprints no
+  // matter what a third tenant does or in which order anyone submitted.
+  for (const std::uint64_t third_load : {0ULL, 24ULL}) {
+    for (const bool reversed : {false, true}) {
+      ServiceConfig cfg;
+      Service service(cfg);
+      auto a = service.open_session(
+          TenantConfig{.name = "a", .share = 0.25, .reserved = true});
+      auto b = service.open_session(
+          TenantConfig{.name = "b", .share = 0.25, .reserved = true});
+      auto c = service.open_session(TenantConfig{.name = "c"});
+      ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+      for (std::uint64_t j = 0; j < third_load; ++j)
+        (void)c.value().submit(make_template("forkjoin"));
+      if (reversed) {
+        submit_victim(b.value());
+        submit_victim(a.value());
+      } else {
+        submit_victim(a.value());
+        submit_victim(b.value());
+      }
+      service.drain();
+      const std::uint64_t fa = service.tenant_stats(0).fingerprint;
+      const std::uint64_t fb = service.tenant_stats(1).fingerprint;
+      EXPECT_EQ(fa, fb) << "third_load=" << third_load
+                        << " reversed=" << reversed;
+    }
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+std::vector<std::uint64_t> run_tenants_and_fingerprint(bool threaded) {
+  ServiceConfig cfg;
+  Service service(cfg);
+  constexpr std::size_t kTenants = 4;
+  std::vector<Session> sessions;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    auto s = service.open_session(TenantConfig{
+        .name = "t" + std::to_string(t),
+        .share = 1.0 / static_cast<double>(kTenants)});
+    EXPECT_TRUE(s.ok());
+    sessions.push_back(s.value());
+  }
+  auto submit_all = [&](std::size_t t) {
+    const auto names = template_names();
+    for (int j = 0; j < 10; ++j) {
+      JobSpec spec = make_template(names[(t + j) % names.size()]);
+      spec.arrival = static_cast<TimePs>(j) * microseconds(15);
+      (void)sessions[t].submit(std::move(spec));
+    }
+  };
+  if (threaded) {
+    // One submitter thread per tenant, racing against each other AND
+    // against a drainer — the engine must serialize them all.
+    std::vector<std::thread> pool;
+    pool.emplace_back([&] { service.drain(); });
+    for (std::size_t t = 0; t < kTenants; ++t)
+      pool.emplace_back([&, t] { submit_all(t); });
+    for (auto& th : pool) th.join();
+  } else {
+    for (std::size_t t = 0; t < kTenants; ++t) submit_all(t);
+  }
+  service.drain();
+  std::vector<std::uint64_t> fps;
+  for (const TenantStats& s : service.all_tenant_stats())
+    fps.push_back(s.fingerprint);
+  return fps;
+}
+
+TEST(ErtDeterminism, ConcurrentSubmittersMatchSerialSubmission) {
+  const auto serial = run_tenants_and_fingerprint(false);
+  for (int repeat = 0; repeat < 3; ++repeat)
+    EXPECT_EQ(run_tenants_and_fingerprint(true), serial);
+}
+
+// -------------------------------------------------------------- adapters
+
+TEST(ErtAdapters, TaskgraphJobspecRoundTrip) {
+  maps::TaskGraph g = maps::pipeline_taskgraph(
+      "radio", 160'000, milliseconds(1), sched::Criticality::kHard);
+  const JobSpec spec = jobspec_from_taskgraph(g);
+  EXPECT_EQ(spec.name, "radio");
+  EXPECT_EQ(spec.qos, QosClass::kRealtime);
+  EXPECT_EQ(spec.period, milliseconds(1));
+  EXPECT_EQ(spec.deadline, milliseconds(1));  // multiapp convention
+
+  const maps::TaskGraph back = taskgraph_from_jobspec(spec);
+  EXPECT_EQ(back.name, g.name);
+  EXPECT_EQ(back.annotation.criticality, g.annotation.criticality);
+  EXPECT_EQ(back.annotation.period, g.annotation.period);
+  EXPECT_EQ(back.tasks().size(), g.tasks().size());
+  EXPECT_EQ(back.edges().size(), g.edges().size());
+  // Round-tripping again is the identity on the modeled fields.
+  const JobSpec again = jobspec_from_taskgraph(back);
+  EXPECT_EQ(again.qos, spec.qos);
+  EXPECT_EQ(again.deadline, spec.deadline);
+}
+
+TEST(ErtAdapters, CicProgramBecomesScaledJobspec) {
+  cic::CicProgram prog("app");
+  const auto src = prog.add_task("src", 5'000, {}, {"o"});
+  const auto dst = prog.add_task("dst", 7'000, {"i"}, {});
+  prog.set_period(src, microseconds(20));
+  prog.set_deadline(dst, microseconds(50));
+  ASSERT_TRUE(prog.connect(src, "o", dst, "i", 128).ok());
+
+  const JobSpec spec = jobspec_from_cic(prog, /*iterations=*/3);
+  ASSERT_EQ(spec.graph.tasks().size(), 2u);
+  EXPECT_EQ(spec.graph.tasks()[0].ref_cycles, 15'000u);
+  EXPECT_EQ(spec.graph.tasks()[1].ref_cycles, 21'000u);
+  ASSERT_EQ(spec.graph.edges().size(), 1u);
+  EXPECT_EQ(spec.graph.edges()[0].bytes, 128u * 3u);
+  // Periodic source + deadline annotation => realtime job.
+  EXPECT_EQ(spec.qos, QosClass::kRealtime);
+  EXPECT_EQ(spec.deadline, microseconds(50) * 3);
+}
+
+TEST(ErtAdapters, ScenarioFromJobspecsRunsThroughSessions) {
+  ServiceConfig cfg;
+  std::vector<JobSpec> specs = {make_template("pipeline"),
+                                make_template("diamond")};
+  harness::Scenario scenario =
+      scenario_from_jobspecs("ert_adapter", specs, cfg);
+  ASSERT_EQ(scenario.run_count(), 2u);
+  const harness::ScenarioResult result = harness::Runner().run(scenario);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const harness::RunRecord& rec = result.runs[i];
+    ASSERT_TRUE(rec.ok) << rec.error;
+    const auto direct = run_jobspec_direct(specs[i], cfg);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(rec.metrics.makespan, direct.value().makespan);
+    EXPECT_GT(rec.metrics.extra_or("ert.latency_us"), 0.0);
+  }
+}
+
+// ------------------------------------------------------------ CLI surface
+
+TEST(ErtDriver, ParsesCommonAndToolFlags) {
+  const auto opts = parse_ert_args({"--json", "--no-files", "--seed", "9",
+                                    "--tenants", "3", "--reserved", "1",
+                                    "--out-dir", "/tmp/x", "pipeline"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_TRUE(opts.value().json_stdout);
+  EXPECT_FALSE(opts.value().legacy_json);
+  EXPECT_FALSE(opts.value().write_files);
+  EXPECT_EQ(opts.value().seed, 9u);
+  EXPECT_EQ(opts.value().tenants, 3u);
+  EXPECT_EQ(opts.value().reserved, 1u);
+  EXPECT_EQ(opts.value().out_dir, "/tmp/x");
+  ASSERT_EQ(opts.value().templates.size(), 1u);
+
+  EXPECT_FALSE(parse_ert_args({"--bogus"}).ok());
+  EXPECT_FALSE(parse_ert_args({"not_a_template"}).ok());
+  EXPECT_FALSE(parse_ert_args({"--reserved", "3", "--tenants", "2"}).ok());
+  EXPECT_FALSE(parse_ert_args({"--help"}).ok());
+}
+
+TEST(ErtDriver, JsonEnvelopeWrapsLegacyDocDeterministically) {
+  ErtOptions opts;
+  opts.json_stdout = true;
+  opts.write_files = false;
+  opts.jobs = 3;
+  std::ostringstream a, b;
+  EXPECT_EQ(run_ert(opts, a).exit_code, 0);
+  EXPECT_EQ(run_ert(opts, b).exit_code, 0);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"schema\": \"rw-tool-1\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"tool\": \"rwert\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"schema\": \"rw-ert-run-1\""), std::string::npos);
+
+  opts.legacy_json = true;
+  std::ostringstream c;
+  EXPECT_EQ(run_ert(opts, c).exit_code, 0);
+  EXPECT_EQ(c.str().find("rw-tool-1"), std::string::npos);
+  EXPECT_EQ(c.str().rfind("{", 0), 0u);  // bare legacy document
+}
+
+TEST(ErtDriver, ListPrintsTemplateRegistry) {
+  ErtOptions opts;
+  opts.list = true;
+  std::ostringstream out;
+  EXPECT_EQ(run_ert(opts, out).exit_code, 0);
+  for (const std::string& name : template_names())
+    EXPECT_NE(out.str().find(name), std::string::npos) << name;
+}
+
+TEST(CliCommon, EnvelopeSplicesPayloadVerbatim) {
+  const std::string doc = cli::envelope("demo", 7, "{\n  \"x\": 1\n}\n");
+  EXPECT_NE(doc.find("\"schema\": \"rw-tool-1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tool\": \"demo\""), std::string::npos);
+  EXPECT_NE(doc.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(doc.find("\"x\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rw::ert

@@ -1,0 +1,113 @@
+// Shared command-line machinery for the rw tool CLIs (rwlint, rwprof,
+// rwfault, rwert).
+//
+// Before this header each tool hand-rolled the same flags with drifting
+// spellings and emitted its own top-level JSON schema. Every CLI now
+// parses the common surface through parse_common_flag() and wraps its
+// machine output in one envelope (schema "rw-tool-1") whose header names
+// the tool and the seed, so downstream tooling can dispatch on a single
+// document shape. The pre-envelope per-tool documents remain available
+// behind --legacy-json for one release.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace rw::cli {
+
+/// Flags every tool understands. Tool-specific option structs inherit
+/// from this so the field names stay what the drivers always used.
+struct CommonOptions {
+  bool list = false;         // --list: print the registry and exit
+  bool json_stdout = false;  // --json: rw-tool-1 envelope on stdout
+  bool legacy_json = false;  // --legacy-json: pre-envelope tool schema
+  bool write_files = true;   // cleared by --no-files
+  std::uint64_t seed = 1;    // --seed S
+  std::string out_dir = ".";  // --out-dir DIR (also --out=DIR)
+};
+
+/// Numeric value following flag `args[i]`; advances `i` past it.
+inline Result<std::uint64_t> arg_u64(const std::vector<std::string>& args,
+                                     std::size_t& i,
+                                     const std::string& flag) {
+  if (i + 1 >= args.size()) return make_error(flag + " requires a value");
+  const std::string& v = args[++i];
+  std::uint64_t out = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9')
+      return make_error(flag + " requires a number, got '" + v + "'");
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v.empty()) return make_error(flag + " requires a number");
+  return out;
+}
+
+/// Try to consume `args[i]` as one of the shared flags. Returns true when
+/// it was one (i may have advanced past a value), false when the flag is
+/// tool-specific and the caller should handle it.
+inline Result<bool> parse_common_flag(const std::vector<std::string>& args,
+                                      std::size_t& i, CommonOptions& opts) {
+  const std::string& a = args[i];
+  if (a == "--list") {
+    opts.list = true;
+  } else if (a == "--json") {
+    opts.json_stdout = true;
+  } else if (a == "--legacy-json") {
+    opts.json_stdout = true;
+    opts.legacy_json = true;
+  } else if (a == "--no-files") {
+    opts.write_files = false;
+  } else if (a == "--seed") {
+    opts.seed = RW_TRY(arg_u64(args, i, a));
+  } else if (a == "--out-dir") {
+    if (i + 1 >= args.size()) return make_error("--out-dir requires a value");
+    opts.out_dir = args[++i];
+    if (opts.out_dir.empty()) opts.out_dir = ".";
+  } else if (a.rfind("--out=", 0) == 0) {
+    opts.out_dir = a.substr(6);
+    if (opts.out_dir.empty()) opts.out_dir = ".";
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// The usage fragment for the shared flags, for per-tool --help text.
+inline const char* common_usage() {
+  return "[--list] [--json] [--legacy-json] [--no-files] [--seed S]"
+         " [--out-dir DIR]";
+}
+
+/// Wrap a pre-rendered legacy tool document in the rw-tool-1 envelope:
+/// {schema, tool, seed, payload}. The payload keeps its own (legacy)
+/// schema field, so consumers of the old format can migrate by reading
+/// `.payload`. Deterministic: pure function of its inputs.
+inline std::string envelope(std::string_view tool, std::uint64_t seed,
+                            std::string legacy_doc) {
+  // Drop the trailing newline tool docs carry, then re-indent the payload
+  // one level so the envelope stays readable.
+  while (!legacy_doc.empty() &&
+         (legacy_doc.back() == '\n' || legacy_doc.back() == ' '))
+    legacy_doc.pop_back();
+  std::string indented;
+  indented.reserve(legacy_doc.size());
+  for (const char c : legacy_doc) {
+    indented += c;
+    if (c == '\n') indented += "  ";
+  }
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("rw-tool-1");
+  w.key("tool").value(tool);
+  w.key("seed").value(seed);
+  w.key("payload").raw(indented);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rw::cli

@@ -1,0 +1,18 @@
+// rwert: drive the multi-tenant ert job service from the command line —
+// open N tenant sessions, submit seeded template jobs, print the
+// per-tenant QoS table, and write ERT_service.json / ERT_trace.json.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ert/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = rw::ert::parse_ert_args(args);
+  if (!opts.ok()) {
+    std::cerr << opts.error().to_string() << "\n";
+    return 2;
+  }
+  return rw::ert::run_ert(opts.value(), std::cout).exit_code;
+}
