@@ -12,18 +12,24 @@
 #include <functional>
 #include <limits>
 #include <ostream>
+#include <type_traits>
 
 namespace rw {
 
 /// Strongly typed integer identifier. `Tag` is any (possibly incomplete)
-/// type used purely to distinguish id spaces at compile time.
+/// type used purely to distinguish id spaces at compile time. `Underlying`
+/// defaults to 32 bits (plenty for consecutive container handles); id
+/// spaces that pack structure into the value (e.g. ert::JobId's
+/// tenant<<32|sequence) widen it to 64.
 ///
 /// Invariants: a default-constructed Id is invalid(); valid ids are
 /// consecutive small integers handed out by the owning container.
-template <typename Tag>
+template <typename Tag, typename Underlying = std::uint32_t>
 class Id {
  public:
-  using underlying_type = std::uint32_t;
+  static_assert(std::is_unsigned_v<Underlying>,
+                "Id requires an unsigned underlying type");
+  using underlying_type = Underlying;
 
   constexpr Id() = default;
   constexpr explicit Id(underlying_type v) : value_(v) {}
@@ -47,8 +53,8 @@ class Id {
   underlying_type value_ = kInvalid;
 };
 
-template <typename Tag>
-std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+template <typename Tag, typename Underlying>
+std::ostream& operator<<(std::ostream& os, Id<Tag, Underlying> id) {
   if (!id.is_valid()) return os << "<invalid>";
   return os << '#' << id.value();
 }
@@ -56,10 +62,10 @@ std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
 }  // namespace rw
 
 namespace std {
-template <typename Tag>
-struct hash<rw::Id<Tag>> {
-  size_t operator()(rw::Id<Tag> id) const noexcept {
-    return std::hash<typename rw::Id<Tag>::underlying_type>{}(id.value());
+template <typename Tag, typename Underlying>
+struct hash<rw::Id<Tag, Underlying>> {
+  size_t operator()(rw::Id<Tag, Underlying> id) const noexcept {
+    return std::hash<Underlying>{}(id.value());
   }
 };
 }  // namespace std

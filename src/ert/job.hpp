@@ -26,7 +26,9 @@
 namespace rw::ert {
 
 struct JobTag {};
-using JobId = Id<JobTag>;
+// 64-bit: tenant index in the high word, per-tenant sequence in the low
+// word — wide enough that the packing cannot silently collide.
+using JobId = Id<JobTag, std::uint64_t>;
 
 /// Deadline classes, mirroring the paper's static-for-hard /
 /// dynamic-best-effort split (Sec. IV): realtime jobs are granted first

@@ -227,7 +227,15 @@ struct Service::Impl {
   mutable std::mutex engine_mu;
   TimePs now = 0;
   std::uint64_t shared_share_sum_milli = 0;  // sum of shared shares *1000
+  std::size_t reserved_total = 0;  // cores carved out for reserved tenants
   sched::SpaceAllocator shared_pool;
+
+  // What shared tenants can ever be granted: reserved carve-outs stay
+  // allocated in shared_pool for the service's lifetime, so capacity()
+  // alone overstates the pool. Admission and the share cap both use this.
+  [[nodiscard]] std::size_t shared_effective_capacity() const {
+    return shared_pool.capacity() - reserved_total;
+  }
   std::vector<Tenant> tenants;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   std::map<std::pair<std::size_t, std::uint64_t>, PendingJob> waiting;
@@ -277,13 +285,16 @@ Result<Session> Service::open_session(TenantConfig tenant) {
     const std::vector<std::size_t> carved =
         impl_->shared_pool.allocate(want, want);
     if (!keep.empty()) impl_->shared_pool.release(keep);
-    if (carved.back() - carved.front() + 1 != carved.size())
+    if (carved.back() - carved.front() + 1 != carved.size()) {
+      impl_->shared_pool.release(carved);
       return make_error("tenant '" + tenant.name +
                         "': shared pool fragmented (open reserved sessions "
                         "before submitting work)");
+    }
     // Dedicated pool over the carved contiguous index range.
     t.pool = std::make_unique<sched::SpaceAllocator>(carved.size(),
                                                      carved.front());
+    impl_->reserved_total += carved.size();
   } else {
     impl_->shared_share_sum_milli +=
         static_cast<std::uint64_t>(tenant.share * 1000.0 + 0.5);
@@ -367,8 +378,14 @@ void Service::drain() {
   for (Command& cmd : batch) {
     Tenant& t = im.tenants.at(cmd.tenant);
     ++t.stats.submitted;
+    // Shared tenants validate against the effective pool (capacity minus
+    // reserved carve-outs): a job wider than that could be admitted but
+    // never granted, and its handle would spin in drain() forever.
+    // Reservations only happen in open_session, which excludes drain(),
+    // and drain() runs every admitted job to completion — so the
+    // effective capacity can never shrink under an already-admitted job.
     const std::size_t capacity =
-        t.pool ? t.pool->capacity() : im.shared_pool.capacity();
+        t.pool ? t.pool->capacity() : im.shared_effective_capacity();
     if (Status v = validate_jobspec(cmd.spec, capacity); !v.ok()) {
       ++t.stats.rejected;
       complete(cmd.node, v.error());
@@ -387,8 +404,9 @@ void Service::drain() {
     job.tenant = cmd.tenant;
     job.seq = cmd.seq;
     // Deterministic id independent of cross-tenant submission order.
-    job.id = JobId{static_cast<std::uint32_t>((cmd.tenant << 20) |
-                                              (cmd.seq & 0xfffff))};
+    assert(cmd.tenant < (1ULL << 32) && cmd.seq < (1ULL << 32));
+    job.id = JobId{(static_cast<std::uint64_t>(cmd.tenant) << 32) |
+                   static_cast<std::uint64_t>(cmd.seq)};
     job.arrival = std::max(cmd.spec.arrival, im.now);
     job.spec = std::move(cmd.spec);
     job.node = std::move(cmd.node);
@@ -497,6 +515,7 @@ void Service::grant_pass_locked() {
     }
   }
   const bool contended = shared_tenants_waiting > 1;
+  const std::size_t shared_capacity = im.shared_effective_capacity();
 
   // Batcher: grants are packed into arbitration batches per pool; batch
   // k of a pool is granted at now + (k+1)*arbitration_latency (one
@@ -509,27 +528,25 @@ void Service::grant_pass_locked() {
   bool shared_blocked_below_realtime = false;
 
   std::vector<bool> granted(im.ready.size(), false);
-  for (const std::size_t idx : order) {
+  auto try_grant = [&](std::size_t idx, bool enforce_cap) -> bool {
     PendingJob& job = im.ready[idx];
     Tenant& t = im.tenants[job.tenant];
     sched::SpaceAllocator& pool = t.pool ? *t.pool : im.shared_pool;
     const std::size_t pool_id = t.pool ? job.tenant + 1 : 0;
 
-    if (!t.pool && shared_blocked_below_realtime &&
-        job.spec.qos != QosClass::kRealtime)
-      continue;
-
     std::size_t limit = pool.available();
-    if (!t.pool && contended) {
+    if (!t.pool && contended && enforce_cap) {
       // Share cap: under contention a tenant may not hold more than its
-      // normalized share of the pool (rounded up, so every tenant with a
-      // positive share can always hold at least one core).
+      // normalized share of the effective pool — capacity minus reserved
+      // carve-outs, the cores shared tenants can actually be granted —
+      // rounded up, so every tenant with a positive share can always
+      // hold at least one core.
       const double norm =
           t.cfg.share * 1000.0 /
           static_cast<double>(std::max<std::uint64_t>(
               1, im.shared_share_sum_milli));
       const auto cap = static_cast<std::size_t>(std::ceil(
-          norm * static_cast<double>(im.shared_pool.capacity())));
+          norm * static_cast<double>(shared_capacity)));
       limit = t.in_use_cores >= cap
                   ? 0
                   : std::min(limit, cap - t.in_use_cores);
@@ -538,11 +555,11 @@ void Service::grant_pass_locked() {
     if (want_max < job.spec.min_cores) {
       if (!t.pool && job.spec.qos == QosClass::kRealtime)
         shared_blocked_below_realtime = true;
-      continue;
+      return false;
     }
     std::vector<std::size_t> cores =
         pool.allocate(job.spec.min_cores, want_max);
-    if (cores.empty()) continue;
+    if (cores.empty()) return false;
 
     const std::size_t batch_index = pool_grants[pool_id] / batch_max;
     ++pool_grants[pool_id];
@@ -581,6 +598,31 @@ void Service::grant_pass_locked() {
     granted[idx] = true;
     im.running.emplace(std::make_pair(run.job.tenant, run.job.seq),
                        std::move(run));
+    return true;
+  };
+
+  for (const std::size_t idx : order) {
+    const PendingJob& job = im.ready[idx];
+    if (!im.tenants[job.tenant].pool && shared_blocked_below_realtime &&
+        job.spec.qos != QosClass::kRealtime)
+      continue;
+    try_grant(idx, /*enforce_cap=*/true);
+  }
+
+  // Work-conserving guarantee: when the capped pass granted nothing from
+  // the shared pool and the pool sits completely idle, the share cap is
+  // the only thing between a ready job and otherwise-wasted cores (e.g.
+  // every contender's min_cores exceeds its cap — capped grants alone
+  // would leave those jobs ready forever with no completion event to
+  // wake them). Lift the cap for exactly one grant — the deficit order
+  // picks whose — so the engine always makes progress; the completion it
+  // schedules re-runs the capped pass for everyone else.
+  if (pool_grants[0] == 0 &&
+      im.shared_pool.available() == shared_capacity) {
+    for (const std::size_t idx : order) {
+      if (granted[idx] || im.tenants[im.ready[idx].tenant].pool) continue;
+      if (try_grant(idx, /*enforce_cap=*/false)) break;
+    }
   }
 
   std::vector<PendingJob> remaining;

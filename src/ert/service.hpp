@@ -7,8 +7,11 @@
 //   queue -> admission controller -> batcher -> space allocator
 //
 // over the shared core pool. Per-tenant QoS: deadline classes
-// (ert::QosClass), fair shares (deficit-ordered grants with a share cap
-// under contention), and optional hard reservations (a carved-out
+// (ert::QosClass), fair shares (deficit-ordered grants with a
+// work-conserving share cap under contention — when no capped grant can
+// proceed and the pool would otherwise idle, one grant may exceed the
+// cap so every admitted job makes progress), and optional hard
+// reservations (a carved-out
 // SpaceAllocator pool, the static-reservation half of the paper's
 // Sec. IV split — a reserved tenant's schedule is a pure function of its
 // own submissions, which is the isolation property test_ert holds).
@@ -174,6 +177,9 @@ class Session {
                                                     const ServiceConfig& cfg);
 
 /// Validation shared by the admission controller and the direct path.
+/// `pool_capacity` is the most the caller's pool can ever grant — for a
+/// shared tenant that is total cores minus reserved carve-outs, so a job
+/// that can never fit is rejected instead of queued forever.
 [[nodiscard]] Status validate_jobspec(const JobSpec& spec,
                                       std::size_t pool_capacity);
 

@@ -255,6 +255,96 @@ TEST(ErtService, FairShareCapsSplitContendedPool) {
   EXPECT_EQ(sb.peak_cores, 4u);
 }
 
+TEST(ErtService, SharedAdmissionAccountsForReservedCarveouts) {
+  // 8 cores, half reserved: the shared pool can only ever grant 4, so a
+  // min_cores=5 shared job must be rejected at admission instead of
+  // sitting ready forever (its handle would spin drain() for a grant
+  // that can never come).
+  Service service(ServiceConfig{});
+  auto res = service.open_session(
+      TenantConfig{.name = "res", .share = 0.5, .reserved = true});
+  auto shr = service.open_session(TenantConfig{.name = "shr"});
+  ASSERT_TRUE(res.ok() && shr.ok());
+  ASSERT_EQ(service.shared_available(), 4u);
+
+  JobSpec wide = make_template("forkjoin");
+  wide.min_cores = 5;
+  wide.max_cores = 8;
+  const JobHandle rejected = shr.value().submit(wide);
+  ASSERT_FALSE(rejected.result().ok());
+  EXPECT_NE(rejected.result().error().to_string().find("pool has 4"),
+            std::string::npos);
+
+  JobSpec fits = make_template("forkjoin");
+  fits.min_cores = 4;
+  fits.max_cores = 8;
+  const JobHandle granted = shr.value().submit(fits);
+  ASSERT_TRUE(granted.result().ok());
+  EXPECT_EQ(granted.result().value().cores, 4u);
+}
+
+TEST(ErtService, ShareCapLiftsWhenPoolWouldOtherwiseIdle) {
+  // Two equal tenants, 8 cores, each wanting an exact 5-wide gang: the
+  // contention cap (4) can serve neither, and with nothing running there
+  // is no completion event to wait for. The work-conserving fallback
+  // must grant one gang past the cap and serialize the other behind it
+  // instead of livelocking both result() calls.
+  Service service(ServiceConfig{});
+  auto a = service.open_session(TenantConfig{.name = "a", .share = 0.5});
+  auto b = service.open_session(TenantConfig{.name = "b", .share = 0.5});
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  JobSpec gang = make_template("forkjoin");
+  gang.min_cores = 5;
+  gang.max_cores = 5;
+  const JobHandle ha = a.value().submit(gang);
+  const JobHandle hb = b.value().submit(gang);
+  ASSERT_TRUE(ha.result().ok());
+  ASSERT_TRUE(hb.result().ok());
+  EXPECT_EQ(ha.result().value().cores, 5u);
+  EXPECT_EQ(hb.result().value().cores, 5u);
+  // Serialized behind the fallback grant, not starved and not parallel.
+  EXPECT_GE(hb.result().value().started, ha.result().value().finished);
+}
+
+TEST(ErtService, ContentionCapUsesEffectivePoolNotRawCapacity) {
+  // 8 cores with half reserved: two equal shared tenants contending must
+  // be capped at ceil(0.5 x 4) = 2 cores each — the reserved carve-out
+  // must not inflate their caps to ceil(0.5 x 8) = 4.
+  Service service(ServiceConfig{});
+  auto res = service.open_session(
+      TenantConfig{.name = "res", .share = 0.5, .reserved = true});
+  auto a = service.open_session(TenantConfig{.name = "a", .share = 0.5});
+  auto b = service.open_session(TenantConfig{.name = "b", .share = 0.5});
+  ASSERT_TRUE(res.ok() && a.ok() && b.ok());
+
+  JobSpec moldable = make_template("forkjoin");
+  moldable.min_cores = 1;
+  moldable.max_cores = 8;
+  const JobHandle ha = a.value().submit(moldable);
+  const JobHandle hb = b.value().submit(moldable);
+  ASSERT_TRUE(ha.result().ok());
+  ASSERT_TRUE(hb.result().ok());
+  EXPECT_EQ(ha.result().value().cores, 2u);
+  EXPECT_EQ(hb.result().value().cores, 2u);
+}
+
+TEST(ErtService, JobIdsPackTenantAndSequenceWithoutCollision) {
+  // 64-bit ids: tenant in the high word, per-tenant sequence in the low
+  // word — distinct (tenant, seq) pairs can never alias.
+  Service service(ServiceConfig{});
+  auto a = service.open_session(TenantConfig{.name = "a", .share = 0.5});
+  auto b = service.open_session(TenantConfig{.name = "b", .share = 0.5});
+  ASSERT_TRUE(a.ok() && b.ok());
+  const JobHandle a0 = a.value().submit(make_template("diamond"));
+  const JobHandle a1 = a.value().submit(make_template("diamond"));
+  const JobHandle b0 = b.value().submit(make_template("diamond"));
+  ASSERT_TRUE(a0.result().ok() && a1.result().ok() && b0.result().ok());
+  EXPECT_EQ(a0.result().value().id.value(), 0u);
+  EXPECT_EQ(a1.result().value().id.value(), 1u);
+  EXPECT_EQ(b0.result().value().id.value(), 1ULL << 32);
+}
+
 // -------------------------------------------------------------- isolation
 
 /// The victim's fixed submission stream, identical across scenarios.
