@@ -19,6 +19,7 @@
 #include "maps/ir.hpp"
 #include "maps/taskgraph.hpp"
 #include "recoder/parser.hpp"
+#include "sim/platform.hpp"
 
 namespace {
 
@@ -32,6 +33,9 @@ struct MappedModel {
   maps::TaskGraph tasks;
   std::vector<std::size_t> stmt_to_task;
   std::vector<std::size_t> task_to_pe;
+  // The machine the mapping targets, so the static-makespan contract
+  // pass (ISSUE 7) joins the scaling sweep.
+  sim::PlatformConfig platform = sim::PlatformConfig::homogeneous(4);
 };
 
 MappedModel make_mapped(std::size_t n) {
@@ -116,6 +120,7 @@ int main() {
           t.stmt_to_task = mapped[si].stmt_to_task;
           t.task_to_pe = mapped[si].task_to_pe;
           t.dataflow = &chains[si];
+          t.platform = &mapped[si].platform;
 
           const auto result =
               lint::PassManager::with_default_passes().run(t);
@@ -139,7 +144,8 @@ int main() {
 
   std::printf("E11: lint pass wall-time vs program size\n");
   Table t({"tasks/stmts/actors", "race ms", "deadlock ms", "uninit ms",
-           "buffers ms", "findings"});
+           "buffers ms", "tput ms", "bufsize ms", "makespan ms",
+           "findings"});
   for (std::size_t si = 0; si < std::size(sizes); ++si) {
     const auto* r = result.find(strformat("n%zu", sizes[si]));
     t.add_row({Table::num(static_cast<std::uint64_t>(sizes[si])),
@@ -147,6 +153,9 @@ int main() {
                Table::num(r->metrics.extra_or("static-deadlock_ms"), 3),
                Table::num(r->metrics.extra_or("uninit-dataflow_ms"), 3),
                Table::num(r->metrics.extra_or("buffer-bounds_ms"), 3),
+               Table::num(r->metrics.extra_or("static-throughput_ms"), 3),
+               Table::num(r->metrics.extra_or("static-buffer-size_ms"), 3),
+               Table::num(r->metrics.extra_or("static-makespan_ms"), 3),
                Table::num(r->metrics.extra_or("diagnostics"), 0)});
   }
   t.print("per-pass wall time (host), finding count");

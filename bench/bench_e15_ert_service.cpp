@@ -205,6 +205,51 @@ RunMetrics run_identity(const std::string& tmpl) {
   return m;
 }
 
+/// ISSUE 7 gate: with the static-admission precheck enabled, a realtime
+/// job whose static makespan bound cannot meet its deadline is rejected
+/// at submit with the typed reason, while the identical job with an
+/// honest deadline is admitted and — the bound being conservative —
+/// meets it. Purpose-built specs only: the stock templates' realtime
+/// deadlines are not statically provable (conservative bounds reject
+/// them), which is exactly why the precheck defaults off and no other
+/// cell enables it.
+RunMetrics run_static_admission() {
+  ert::ServiceConfig scfg;
+  scfg.static_admission = true;
+  ert::Service service(scfg);
+  auto session = service.open_session(ert::TenantConfig{.name = "rt"});
+
+  ert::JobSpec spec;
+  spec.name = "rt_probe";
+  const auto a = spec.graph.add_task("a", 4'000);
+  const auto b = spec.graph.add_task("b", 4'000);
+  spec.graph.add_edge(a, b, 256);
+  spec.qos = ert::QosClass::kRealtime;
+  const DurationPs bound = ert::static_makespan_bound_ps(spec, scfg);
+
+  ert::JobSpec doomed = spec;
+  doomed.deadline = bound + scfg.arbitration_latency - 1;
+  const ert::JobHandle hd = session.value().submit(doomed);
+
+  ert::JobSpec honest = spec;
+  honest.deadline = bound + scfg.arbitration_latency;
+  const ert::JobHandle ho = session.value().submit(honest);
+
+  RunMetrics m;
+  m.makespan = ho.result().ok() ? ho.result().value().finished : 0;
+  m.set_extra("ert.static_bound_us", static_cast<double>(bound) * 1e-6);
+  m.set_extra("ert.static_rejected",
+              !hd.result().ok() &&
+                      hd.result().error().to_string().find(
+                          "static-infeasible") != std::string::npos
+                  ? 1.0
+                  : 0.0);
+  m.set_extra("ert.static_admitted",
+              ho.result().ok() && ho.result().value().deadline_met ? 1.0
+                                                                   : 0.0);
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,6 +281,9 @@ int main(int argc, char** argv) {
                      [tmpl](const harness::RunContext&) {
                        return run_identity(tmpl);
                      });
+  scenario.add_run("static_admission", [](const harness::RunContext&) {
+    return run_static_admission();
+  });
   harness::ScenarioResult result = harness::Runner().run(scenario);
 
   std::printf("E15: ert service open-loop sweep (%zu cores, %llu "
@@ -294,6 +342,18 @@ int main(int argc, char** argv) {
     std::printf("identity gate [%s]: session == direct %s (makespan %s)\n",
                 tmpl.c_str(), identical ? "exactly" : "DIVERGED",
                 format_time(m.makespan).c_str());
+  }
+
+  {
+    const auto& m = result.find("static_admission")->metrics;
+    const bool rejected = m.extra_or("ert.static_rejected") == 1.0;
+    const bool admitted = m.extra_or("ert.static_admitted") == 1.0;
+    if (!rejected || !admitted) shape_ok = false;
+    std::printf("admission gate [static]: infeasible realtime job %s at "
+                "submit; honest twin %s its deadline (bound %.1fus)\n",
+                rejected ? "rejected" : "NOT REJECTED",
+                admitted ? "admitted and met" : "MISSED",
+                m.extra_or("ert.static_bound_us"));
   }
 
   std::printf("harness: %zu runs on %zu threads in %.0fms\n",

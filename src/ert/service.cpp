@@ -8,6 +8,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "maps/perf_bounds.hpp"
+
 namespace rw::ert {
 
 const char* qos_name(QosClass q) {
@@ -122,6 +124,15 @@ Status validate_jobspec(const JobSpec& spec, std::size_t pool_capacity) {
     return make_error("job '" + spec.name +
                       "': realtime jobs need a deadline");
   return Status::ok_status();
+}
+
+DurationPs static_makespan_bound_ps(const JobSpec& spec,
+                                    const ServiceConfig& cfg) {
+  return maps::static_makespan_bound_any_gang(
+             spec.graph,
+             maps::PeDesc{sim::PeClass::kRisc, cfg.core_frequency},
+             maps::simple_comm_cost(cfg.comm_latency, cfg.comm_bytes_per_ps))
+      .bound;
 }
 
 RunMetrics job_execution_metrics(const JobSpec& spec, std::size_t cores,
@@ -390,6 +401,25 @@ void Service::drain() {
       ++t.stats.rejected;
       complete(cmd.node, v.error());
       continue;
+    }
+    // Static admission (opt-in): a realtime job whose conservative
+    // execution bound plus one arbitration pass cannot fit its deadline
+    // would miss even alone on an idle machine — reject at submit with
+    // a typed reason instead of queueing it.
+    if (cfg_.static_admission && cmd.spec.qos == QosClass::kRealtime &&
+        cmd.spec.deadline > 0) {
+      const DurationPs bound = static_makespan_bound_ps(cmd.spec, cfg_);
+      if (cfg_.arbitration_latency + bound > cmd.spec.deadline) {
+        ++t.stats.rejected;
+        complete(cmd.node,
+                 make_error("static-infeasible: job '" + cmd.spec.name +
+                            "': static makespan bound " +
+                            std::to_string(bound) + " ps + arbitration " +
+                            std::to_string(cfg_.arbitration_latency) +
+                            " ps exceeds deadline " +
+                            std::to_string(cmd.spec.deadline) + " ps"));
+        continue;
+      }
     }
     if (t.in_flight >= t.cfg.max_pending) {
       ++t.stats.rejected;

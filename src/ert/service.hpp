@@ -59,7 +59,23 @@ struct ServiceConfig {
   DurationPs arbitration_latency = microseconds(5);  // per grant batch
   std::size_t batch_max = 8;  // jobs granted per arbitration pass (per pool)
   bool record_trace = true;   // per-job compute events for rw::perf export
+
+  // Static admission precheck (ISSUE 7): reject a kRealtime job at
+  // submit when its gang-size-independent static makespan bound
+  // (maps::static_makespan_bound_any_gang under this config's cost
+  // model) plus one arbitration pass already exceeds its deadline — the
+  // job would miss even on an otherwise-idle machine, so burn no shared
+  // cores discovering that dynamically. Rejections carry a typed
+  // "static-infeasible:" reason. Off by default: the dynamic behavior
+  // stays the reference.
+  bool static_admission = false;
 };
+
+/// The admission precheck's bound: every task priced on one pool core,
+/// every edge charged as a cross-PE transfer — an upper bound on the
+/// HEFT makespan of ANY gang this service could grant the job.
+[[nodiscard]] DurationPs static_makespan_bound_ps(const JobSpec& spec,
+                                                  const ServiceConfig& cfg);
 
 /// Aggregated per-tenant counters plus the completion-order latency
 /// stream and a deterministic fingerprint over completion records —

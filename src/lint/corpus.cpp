@@ -27,6 +27,7 @@ Target CorpusProgram::target() const {
     t.dataflow = &graph;
     t.dataflow_cfg = graph_cfg;
   }
+  if (has_platform) t.platform = &platform;
   return t;
 }
 
@@ -219,6 +220,45 @@ CorpusProgram make_starved_csdf() {
   return p;
 }
 
+/// A correctly channel-ordered two-stage chain whose annotated deadline
+/// undercuts the static makespan bound: no defect a dynamic run could
+/// observe, but feasibility is statically unprovable — exactly the
+/// finding the makespan contract exists to surface before simulation.
+CorpusProgram make_tight_deadline() {
+  CorpusProgram p;
+  p.name = "tight_deadline";
+  p.summary = "clean two-stage chain with a statically unprovable deadline";
+  p.expected_kinds = {"deadline-unprovable"};
+  const auto in = p.seq.add_var("in", 32);
+  const auto out = p.seq.add_var("out", 32);
+  p.seq.add_stmt("grab_fill", 6000, {}, {in});
+  p.seq.add_stmt("proc_use", 6000, {in}, {out});
+  p.tasks.name = p.name;
+  const auto grab = p.tasks.add_task("grab", 6000);
+  const auto proc = p.tasks.add_task("proc", 6000);
+  p.tasks.add_edge(grab, proc, 256);
+  p.stmt_to_task = {0, 1};
+  p.task_to_pe = {0, 1};
+  // Work alone is 2 x 6000 cycles @ 400 MHz = 30 ns; the cross-PE bus
+  // transfer adds ~180 ns more. 100 ns cannot be statically guaranteed.
+  p.tasks.annotation.deadline = nanoseconds(100);
+  p.tasks.annotation.criticality = sched::Criticality::kHard;
+  p.has_mapped = true;
+  return p;
+}
+
+/// The dynamic twin runs mapped programs on homogeneous(max(pes, 2));
+/// give the static makespan contract the same machine to bound.
+void attach_platform(CorpusProgram& p) {
+  if (!p.has_mapped) return;
+  std::size_t pes = 0;
+  for (const auto pe : p.task_to_pe) pes = std::max(pes, pe + 1);
+  pes = std::max(pes, p.core_order.size());
+  p.platform = sim::PlatformConfig::homogeneous(std::max<std::size_t>(
+      pes, 2));
+  p.has_platform = true;
+}
+
 }  // namespace
 
 std::vector<CorpusProgram> build_corpus() {
@@ -230,6 +270,8 @@ std::vector<CorpusProgram> build_corpus() {
   c.push_back(make_uninit_filter());
   c.push_back(make_clean_pipeline());
   c.push_back(make_starved_csdf());
+  c.push_back(make_tight_deadline());
+  for (auto& p : c) attach_platform(p);
   return c;
 }
 

@@ -22,6 +22,7 @@
 #include "maps/ir.hpp"
 #include "maps/taskgraph.hpp"
 #include "recoder/ast.hpp"
+#include "sim/platform.hpp"
 #include "vpdebug/race.hpp"
 
 namespace rw::lint {
@@ -50,6 +51,12 @@ struct CorpusProgram {
   dataflow::Graph graph;
   bool has_graph = false;
   dataflow::ExecConfig graph_cfg;
+
+  /// Platform the mapping targets — the same shape run_dynamic builds,
+  /// so the static makespan contract and the dynamic twin agree on the
+  /// machine. Set for every mapped program.
+  sim::PlatformConfig platform;
+  bool has_platform = false;
 
   [[nodiscard]] Target target() const;
   /// Mapped programs can be executed on the virtual platform.

@@ -66,6 +66,22 @@ std::size_t count_severity(const std::vector<Diagnostic>& diags,
                     [s](const Diagnostic& d) { return d.severity == s; }));
 }
 
+void dedupe_diagnostics(std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> out;
+  out.reserve(diags.size());
+  for (auto& d : diags) {
+    const bool dup = std::any_of(
+        out.begin(), out.end(), [&](const Diagnostic& kept) {
+          return kept.kind == d.kind &&
+                 kept.location.unit == d.location.unit &&
+                 kept.location.entity == d.location.entity &&
+                 kept.evidence == d.evidence;
+        });
+    if (!dup) out.push_back(std::move(d));
+  }
+  diags = std::move(out);
+}
+
 void diagnostics_to_json(json::Writer& w, const std::string& program,
                          const std::vector<Diagnostic>& diags) {
   w.begin_object();

@@ -63,6 +63,13 @@ void sort_diagnostics(std::vector<Diagnostic>& diags);
 /// Counts by severity.
 std::size_t count_severity(const std::vector<Diagnostic>& diags, Severity s);
 
+/// Drop diagnostics that restate a finding another pass already made:
+/// two entries are duplicates when (kind, unit, entity, evidence) agree
+/// — the producing pass and prose may differ. Input must be sorted
+/// (sort_diagnostics); the first entry in sorted order survives, so the
+/// output never depends on pass registration order.
+void dedupe_diagnostics(std::vector<Diagnostic>& diags);
+
 /// Serialize a diagnostic set as the documented "rw-lint-1" schema:
 /// {schema, program, errors, warnings, notes, diagnostics: [...]}. Output
 /// is byte-identical across runs for the same findings.

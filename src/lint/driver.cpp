@@ -8,11 +8,13 @@
 namespace rw::lint {
 namespace {
 
-std::vector<std::string> split_csv(const std::string& s) {
+// Pass lists accept commas or whitespace as separators, so both
+// `--passes a,b` and the shell-friendly `--passes "a b"` work.
+std::vector<std::string> split_list(const std::string& s) {
   std::vector<std::string> out;
   std::string cur;
   for (char c : s) {
-    if (c == ',') {
+    if (c == ',' || c == ' ' || c == '\t') {
       if (!cur.empty()) out.push_back(cur);
       cur.clear();
     } else {
@@ -33,10 +35,15 @@ Result<DriverOptions> parse_driver_args(
     if (RW_TRY(cli::parse_common_flag(args, i, opts))) {
       continue;
     } else if (a.rfind("--passes=", 0) == 0) {
-      for (auto& p : split_csv(a.substr(9))) opts.passes.insert(p);
+      for (auto& p : split_list(a.substr(9))) opts.passes.insert(p);
+    } else if (a == "--passes") {
+      if (i + 1 >= args.size())
+        return make_error(
+            "--passes needs a comma- or space-separated pass list");
+      for (auto& p : split_list(args[++i])) opts.passes.insert(p);
     } else if (a == "--help" || a == "-h") {
       return make_error(std::string("usage: rwlint ") + cli::common_usage() +
-                        " [--passes=a,b] [program...]");
+                        " [--passes a,b] [program...]");
     } else if (!a.empty() && a[0] == '-') {
       return make_error("unknown option: " + a);
     } else {
@@ -50,6 +57,12 @@ std::string driver_json(const std::vector<ProgramOutcome>& outcomes) {
   json::Writer w;
   w.begin_object();
   w.key("schema").value("rw-lint-run-1");
+  // The pass registry, in canonical order, so envelope consumers can
+  // tell "pass did not run" from "pass does not exist".
+  const PassManager registry = PassManager::with_default_passes();
+  w.key("passes").begin_array();
+  for (const auto& p : registry.passes()) w.value(std::string(p->name()));
+  w.end_array();
   std::size_t errors = 0;
   for (const auto& o : outcomes) errors += o.result.errors();
   w.key("errors").value(static_cast<std::uint64_t>(errors));
@@ -77,6 +90,11 @@ DriverReport run_driver(const DriverOptions& opts, std::ostream& out) {
       t.add_row({p.name, p.runnable() ? "yes" : "no", kinds, p.summary});
     }
     out << t.to_string();
+    Table passes({"pass", "description"});
+    const PassManager registry = PassManager::with_default_passes();
+    for (const auto& p : registry.passes())
+      passes.add_row({std::string(p->name()), std::string(p->description())});
+    out << passes.to_string();
     return report;
   }
 
@@ -130,9 +148,14 @@ DriverReport run_driver(const DriverOptions& opts, std::ostream& out) {
       if (t.row_count() > 0) out << t.to_string();
       out << strformat("%zu error(s), %zu warning(s)",
                        outcome.result.errors(), outcome.result.warnings());
+      // Per-pass wall time is host timing: table output only, never in
+      // any JSON document (those are byte-identical across runs).
       std::string ran;
       for (const auto& s : outcome.result.stats)
-        if (s.ran) ran += (ran.empty() ? "" : ",") + s.pass;
+        if (s.ran)
+          ran += (ran.empty() ? "" : ", ") + s.pass +
+                 strformat(" %.2fms",
+                           static_cast<double>(s.wall_ns) / 1e6);
       out << "  [passes: " << (ran.empty() ? "none" : ran) << "]\n";
       if (!outcome.json_path.empty())
         out << "wrote " << outcome.json_path << "\n";

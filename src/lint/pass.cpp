@@ -32,6 +32,9 @@ PassManager PassManager::with_default_passes() {
   pm.add(make_uninit_pass());
   pm.add(make_buffer_pass());
   pm.add(make_shared_access_pass());
+  pm.add(make_throughput_pass());
+  pm.add(make_buffer_size_pass());
+  pm.add(make_makespan_pass());
   return pm;
 }
 
@@ -68,6 +71,11 @@ LintResult PassManager::run(const Target& t) const {
     res.stats.push_back(std::move(st));
   }
   sort_diagnostics(res.diagnostics);
+  // Overlapping passes may restate one finding (static-deadlock and
+  // static-buffer-size both report an inherently deadlocked channel);
+  // dedupe after sorting so the survivor never depends on registration
+  // order.
+  dedupe_diagnostics(res.diagnostics);
   return res;
 }
 

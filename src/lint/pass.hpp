@@ -22,6 +22,7 @@
 #include "maps/ir.hpp"
 #include "maps/taskgraph.hpp"
 #include "recoder/ast.hpp"
+#include "sim/platform.hpp"
 
 namespace rw::lint {
 
@@ -54,6 +55,11 @@ struct Target {
   const dataflow::Graph* dataflow = nullptr;
   /// Drive configuration for executor-backed analyses (buffer bounds).
   dataflow::ExecConfig dataflow_cfg;
+
+  // ---- platform view (static performance contracts) ----
+  /// Target platform the mapping is judged against. Needed by the
+  /// static-makespan pass; the other passes ignore it.
+  const sim::PlatformConfig* platform = nullptr;
 
   [[nodiscard]] bool has_mapped() const {
     return seq != nullptr && task_graph != nullptr &&
@@ -114,7 +120,9 @@ class PassManager {
  public:
   PassManager& add(std::unique_ptr<Pass> pass);
 
-  /// All four shipped passes, in their canonical order.
+  /// All shipped passes (see passes.hpp), in their canonical order:
+  /// the five correctness passes, then the three performance-contract
+  /// passes of ISSUE 7.
   static PassManager with_default_passes();
 
   /// Restrict to a comma-separated subset by name; unknown names are

@@ -1,0 +1,71 @@
+// Static buffer-size contract: minimal deadlock-free channel capacities.
+//
+// The executor-backed buffer-bounds pass answers "which capacities make
+// the declared period wait-free?" by simulating — O(sim). This pass
+// answers the weaker but timing-free question "which capacities keep the
+// graph deadlock-free at all?" by untimed abstract execution with
+// back-pressure — O(IR), the static twin of bench_e4's dynamic sweep.
+// The per-channel capacities are emitted as evidence for maps to size
+// channels from (lint::apply_buffer_contract). On an inherently
+// deadlocked graph the capacities do not exist; the deadlock report is
+// re-emitted under this pass's name — deliberately duplicating the
+// static-deadlock pass so the post-sort dedupe keeps exactly one copy
+// regardless of registration order.
+#include "common/strings.hpp"
+#include "dataflow/deadlock.hpp"
+#include "lint/adapters.hpp"
+#include "lint/passes.hpp"
+#include "lint/perf_contract.hpp"
+
+namespace rw::lint {
+namespace {
+
+class BufferSizePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "static-buffer-size";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "minimal deadlock-free channel capacities by untimed abstract "
+           "execution";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.dataflow != nullptr;
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    const auto& g = *t.dataflow;
+    if (!g.repetition_vector().ok()) return;
+    if (const auto rep = dataflow::detect_deadlock(g); rep.deadlocked) {
+      auto dup = from_deadlock_report(rep, t.name, "static-buffer-size");
+      for (auto& d : dup) out.push_back(std::move(d));
+      return;
+    }
+
+    const auto caps = deadlock_free_capacities(g);
+    for (std::size_t e = 0; e < caps.size(); ++e) {
+      const auto& edge = g.edges()[e];
+      const auto name =
+          edge.name.empty() ? strformat("edge%zu", e) : edge.name;
+      Diagnostic d;
+      d.severity = Severity::kNote;
+      d.subsystem = "dataflow";
+      d.pass = "static-buffer-size";
+      d.kind = "deadlock-free-capacity";
+      d.location = {t.name, name};
+      d.message = strformat(
+          "edge '%s' needs capacity %zu to stay deadlock-free",
+          name.c_str(), caps[e]);
+      d.with_evidence("capacity", strformat("%zu", caps[e]));
+      out.push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_buffer_size_pass() {
+  return std::make_unique<BufferSizePass>();
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,100 @@
+// Static makespan contract: serialized cost bound of a mapped task graph.
+//
+// Sec. IV maps task graphs "taking into account real-time requirements";
+// this pass states what the mapping provably achieves before any
+// simulation. maps::static_makespan_bound charges every task's execution
+// on its assigned PE plus every cross-PE edge's uncontended fabric
+// occupancy — an upper bound on both the list-scheduler estimates and
+// the contended virtual-platform replay (see maps/perf_bounds.hpp for
+// the induction). The bound is emitted as a note with its tightness
+// evidence (work / comm / contention-free critical path); when the
+// graph carries a deadline the bound cannot cover, that is an error —
+// the mapping's feasibility is unprovable and needs either a better
+// mapping or a dynamic argument.
+#include "common/strings.hpp"
+#include "lint/passes.hpp"
+#include "maps/perf_bounds.hpp"
+
+namespace rw::lint {
+namespace {
+
+class MakespanPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "static-makespan";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "conservative makespan upper bound of the mapped task graph on "
+           "the target platform";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.task_graph != nullptr && t.platform != nullptr &&
+           !t.platform->cores.empty();
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    const auto& g = *t.task_graph;
+    if (!g.is_acyclic()) return;  // the deadlock pass owns cyclic graphs
+
+    const auto v = maps::verify_mapping(g, *t.platform, t.task_to_pe);
+
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.subsystem = "maps";
+    d.pass = "static-makespan";
+    d.kind = "makespan-bound";
+    d.location = {t.name, g.name};
+    d.message = strformat(
+        "static makespan bound %llu ps on %zu PEs (work %llu ps + comm "
+        "%llu ps over %zu cross-PE edges)",
+        static_cast<unsigned long long>(v.bound.bound),
+        t.platform->cores.size(),
+        static_cast<unsigned long long>(v.bound.work),
+        static_cast<unsigned long long>(v.bound.comm),
+        v.bound.cross_edges);
+    d.with_evidence("bound_ps", strformat("%llu",
+                                          static_cast<unsigned long long>(
+                                              v.bound.bound)))
+        .with_evidence("work_ps",
+                       strformat("%llu", static_cast<unsigned long long>(
+                                             v.bound.work)))
+        .with_evidence("comm_ps",
+                       strformat("%llu", static_cast<unsigned long long>(
+                                             v.bound.comm)))
+        .with_evidence("critical_path_ps",
+                       strformat("%llu", static_cast<unsigned long long>(
+                                             v.bound.critical_path)))
+        .with_evidence("cross_edges",
+                       strformat("%zu", v.bound.cross_edges));
+    out.push_back(std::move(d));
+
+    if (v.has_deadline && !v.provable) {
+      Diagnostic e;
+      e.severity = Severity::kError;
+      e.subsystem = "maps";
+      e.pass = "static-makespan";
+      e.kind = "deadline-unprovable";
+      e.location = {t.name, g.name};
+      e.message = strformat(
+          "deadline %llu ps cannot be statically guaranteed: the makespan "
+          "bound is %llu ps",
+          static_cast<unsigned long long>(v.deadline),
+          static_cast<unsigned long long>(v.bound.bound));
+      e.with_evidence("deadline_ps",
+                      strformat("%llu", static_cast<unsigned long long>(
+                                            v.deadline)))
+          .with_evidence("bound_ps",
+                         strformat("%llu", static_cast<unsigned long long>(
+                                               v.bound.bound)));
+      out.push_back(std::move(e));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_makespan_pass() {
+  return std::make_unique<MakespanPass>();
+}
+
+}  // namespace rw::lint

@@ -1,0 +1,75 @@
+// Static throughput contract: repetition-vector workload analysis.
+//
+// Sec. III's design flow sizes buffers against a declared source period;
+// this pass answers the prior question — which periods are provably
+// sustainable at all? The one-iteration workload W (every actor's
+// repetition count times its WCET, converted per actor so rounding errs
+// upward) upper-bounds the maximum cycle ratio: any dependency cycle
+// carries >= 1 initial token, so its amortized per-iteration cost is at
+// most the whole-graph workload. A source period of W therefore always
+// admits a static schedule, and 1/W is a guaranteed steady-state
+// throughput lower bound — the executor can only do better.
+#include "common/strings.hpp"
+#include "lint/passes.hpp"
+#include "lint/perf_contract.hpp"
+
+namespace rw::lint {
+namespace {
+
+class ThroughputPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "static-throughput";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "guaranteed-sustainable period / steady-state throughput lower "
+           "bound for the dataflow graph";
+  }
+  [[nodiscard]] bool applicable(const Target& t) const override {
+    return t.dataflow != nullptr;
+  }
+
+  void run(const Target& t, std::vector<Diagnostic>& out) const override {
+    const auto& g = *t.dataflow;
+    // Inconsistent or inherently deadlocked graphs have no sustainable
+    // period; the deadlock pass reports those.
+    const auto w = guaranteed_period(g, t.dataflow_cfg.frequency);
+    if (w == 0) return;
+
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.subsystem = "dataflow";
+    d.pass = "static-throughput";
+    d.kind = "throughput-bound";
+    d.location = {t.name, ""};
+    d.message = strformat(
+        "a source period of %llu ps is statically sustainable: guaranteed "
+        "steady-state throughput >= %.3f iterations/s",
+        static_cast<unsigned long long>(w),
+        1e12 / static_cast<double>(w));
+    d.with_evidence("period_bound_ps",
+                    strformat("%llu", static_cast<unsigned long long>(w)))
+        .with_evidence("min_iterations_per_sec",
+                       strformat("%.3f", 1e12 / static_cast<double>(w)));
+
+    // Flag a declared period the bound cannot prove sustainable — not an
+    // error (the bound is conservative), but worth a designer's look when
+    // the executor-backed sizing also struggles.
+    if (t.dataflow_cfg.source_period > 0 &&
+        t.dataflow_cfg.source_period < w) {
+      d.with_evidence("declared_period_ps",
+                      strformat("%llu",
+                                static_cast<unsigned long long>(
+                                    t.dataflow_cfg.source_period)));
+    }
+    out.push_back(std::move(d));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_throughput_pass() {
+  return std::make_unique<ThroughputPass>();
+}
+
+}  // namespace rw::lint

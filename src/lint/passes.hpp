@@ -12,6 +12,18 @@
 //   buffer-bounds    dataflow::compute_buffer_capacities as a pass:
 //                    errors when no wait-free capacity assignment exists
 //                    or provided capacities are under the sufficient ones.
+//
+// Performance-contract passes (ISSUE 7) — conservative static bounds:
+//   static-throughput   repetition-vector workload analysis yielding a
+//                       guaranteed-sustainable steady-state period (a
+//                       throughput lower bound) for a consistent,
+//                       deadlock-free CSDF graph.
+//   static-buffer-size  minimal deadlock-free channel capacities by
+//                       untimed abstract execution — the O(IR) static
+//                       twin of the executor-backed buffer-bounds pass.
+//   static-makespan     serialized cost bound (maps::perf_bounds) of a
+//                       mapped task graph on the target platform; errors
+//                       when a deadline cannot be statically proven.
 #pragma once
 
 #include <memory>
@@ -27,5 +39,9 @@ std::unique_ptr<Pass> make_buffer_pass();
 /// Bonus fifth pass: recoder shared-array access classification
 /// (Sec. VI), re-emitted through the Diagnostic adapter.
 std::unique_ptr<Pass> make_shared_access_pass();
+
+std::unique_ptr<Pass> make_throughput_pass();
+std::unique_ptr<Pass> make_buffer_size_pass();
+std::unique_ptr<Pass> make_makespan_pass();
 
 }  // namespace rw::lint

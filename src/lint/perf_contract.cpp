@@ -1,0 +1,140 @@
+#include "lint/perf_contract.hpp"
+
+#include <algorithm>
+
+#include "dataflow/buffers.hpp"
+#include "dataflow/deadlock.hpp"
+
+namespace rw::lint {
+
+DurationPs guaranteed_period(const dataflow::Graph& g, HertzT frequency) {
+  const auto rv = g.repetition_vector();
+  if (!rv.ok()) return 0;
+  if (dataflow::detect_deadlock(g).deadlocked) return 0;
+  // Per-actor rounding makes W an upper bound of any per-core workload
+  // share (cycles_to_ps rounds up, so it is subadditive the safe way).
+  DurationPs w = 0;
+  for (std::size_t a = 0; a < g.actors().size(); ++a)
+    w += cycles_to_ps(rv.value().cycles[a] * g.actors()[a].wcet_sum(),
+                      frequency);
+  return w;
+}
+
+std::vector<std::size_t> deadlock_free_capacities(const dataflow::Graph& g) {
+  const auto rvr = g.repetition_vector();
+  if (!rvr.ok()) return {};
+  if (dataflow::detect_deadlock(g).deadlocked) return {};
+  const auto& rv = rvr.value();
+
+  auto caps = dataflow::capacity_lower_bounds(g);
+  std::uint64_t quota_total = 0;
+  for (const auto f : rv.firings) quota_total += f;
+
+  // Grow-the-blocker loop: abstractly run one iteration with
+  // back-pressure; whenever a data-ready producer is gated by a full
+  // edge, raise exactly that edge's capacity and retry. Each round
+  // strictly grows one capacity and capacities are bounded by initial
+  // tokens plus one iteration's production, so this terminates; the
+  // unbounded-buffer deadlock check above guarantees the wedge is
+  // always a space wedge, never a data one.
+  const int max_rounds = 1 + static_cast<int>(g.edges().size()) * 64;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<std::uint64_t> tokens(g.edges().size());
+    for (std::size_t e = 0; e < g.edges().size(); ++e)
+      tokens[e] = g.edges()[e].initial_tokens;
+    std::vector<std::uint64_t> fired(g.actors().size(), 0);
+    std::uint64_t done = 0;
+
+    const auto can_fire = [&](std::size_t a, bool& space_blocked,
+                              std::size_t& full_edge) {
+      const auto& actor = g.actors()[a];
+      const std::size_t p = fired[a] % actor.phases();
+      for (const auto ei : g.in_edges(actor.id)) {
+        const auto& e = g.edge(ei);
+        if (tokens[ei.index()] < e.cons_rates[p]) return false;
+      }
+      for (const auto ei : g.out_edges(actor.id)) {
+        const auto& e = g.edge(ei);
+        if (tokens[ei.index()] + e.prod_rates[p] > caps[ei.index()]) {
+          space_blocked = true;
+          full_edge = ei.index();
+          return false;
+        }
+      }
+      return true;
+    };
+
+    bool progress = true;
+    while (done < quota_total && progress) {
+      progress = false;
+      for (std::size_t a = 0; a < g.actors().size(); ++a) {
+        if (fired[a] >= rv.firings[a]) continue;
+        bool space_blocked = false;
+        std::size_t full_edge = 0;
+        if (!can_fire(a, space_blocked, full_edge)) continue;
+        const auto& actor = g.actors()[a];
+        const std::size_t p = fired[a] % actor.phases();
+        for (const auto ei : g.in_edges(actor.id))
+          tokens[ei.index()] -= g.edge(ei).cons_rates[p];
+        for (const auto ei : g.out_edges(actor.id))
+          tokens[ei.index()] += g.edge(ei).prod_rates[p];
+        ++fired[a];
+        ++done;
+        progress = true;
+      }
+    }
+    if (done >= quota_total) return caps;
+
+    bool grew = false;
+    for (std::size_t a = 0; a < g.actors().size() && !grew; ++a) {
+      if (fired[a] >= rv.firings[a]) continue;
+      bool space_blocked = false;
+      std::size_t full_edge = 0;
+      (void)can_fire(a, space_blocked, full_edge);
+      if (!space_blocked) continue;
+      const auto& e = g.edges()[full_edge];
+      const std::size_t p = fired[a] % g.actors()[a].phases();
+      caps[full_edge] =
+          static_cast<std::size_t>(tokens[full_edge] + e.prod_rates[p]);
+      grew = true;
+    }
+    if (!grew) return {};  // unreachable for unbounded-deadlock-free graphs
+  }
+  return {};
+}
+
+PerfContract compute_perf_contract(const Target& t) {
+  PerfContract c;
+  if (t.dataflow != nullptr) {
+    const auto w = guaranteed_period(*t.dataflow, t.dataflow_cfg.frequency);
+    if (w > 0) {
+      c.has_throughput = true;
+      c.period_bound = w;
+      c.min_throughput_hz = 1e12 / static_cast<double>(w);
+    }
+    auto caps = deadlock_free_capacities(*t.dataflow);
+    if (!caps.empty()) {
+      c.has_buffers = true;
+      c.buffer_capacities = std::move(caps);
+    }
+  }
+  if (t.task_graph != nullptr && t.platform != nullptr &&
+      t.task_graph->is_acyclic()) {
+    c.has_makespan = true;
+    c.makespan = maps::verify_mapping(*t.task_graph, *t.platform,
+                                      t.task_to_pe);
+  }
+  return c;
+}
+
+void apply_buffer_contract(const PerfContract& c,
+                           dataflow::ExecConfig& cfg) {
+  if (!c.has_buffers) return;
+  if (cfg.buffer_capacities.size() < c.buffer_capacities.size())
+    cfg.buffer_capacities.resize(c.buffer_capacities.size(), 0);
+  for (std::size_t e = 0; e < c.buffer_capacities.size(); ++e)
+    cfg.buffer_capacities[e] =
+        std::max(cfg.buffer_capacities[e], c.buffer_capacities[e]);
+}
+
+}  // namespace rw::lint

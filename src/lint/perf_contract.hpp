@@ -1,0 +1,68 @@
+// Static performance contracts (ISSUE 7).
+//
+// The three performance passes each compute one conservative bound; a
+// PerfContract bundles them into the result type downstream subsystems
+// consume without re-running analysis: maps sizes channels from the
+// deadlock-free capacities and prechecks deadlines via
+// maps::verify_mapping, sched/ert admission compares the makespan bound
+// against a realtime deadline. Every bound errs on the safe side:
+//
+//   * guaranteed_period: a source period W the graph provably sustains
+//     (W >= maximum cycle ratio — any cycle with k >= 1 initial tokens
+//     must complete rv/k amortized firings per iteration, costing at
+//     most the full iteration workload W; and the static scheduler's
+//     per-core load gate passes at W by subadditivity of cycles_to_ps).
+//     Static throughput lower bound = 1/W <= measured throughput.
+//   * deadlock_free_capacities: smallest per-edge capacities under
+//     which untimed abstract execution completes one full iteration;
+//     monotone growth from structural lower bounds, so dynamic
+//     data-driven execution with these capacities never wedges.
+//   * verify_mapping (maps/perf_bounds.hpp): serialized cost bound,
+//     static makespan >= any simulated makespan.
+#pragma once
+
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/graph.hpp"
+#include "lint/pass.hpp"
+#include "maps/perf_bounds.hpp"
+
+namespace rw::lint {
+
+/// The bundle of static performance bounds for one Target. Each part is
+/// present only when the corresponding representation was analyzable.
+struct PerfContract {
+  bool has_throughput = false;
+  DurationPs period_bound = 0;   // guaranteed-sustainable source period
+  double min_throughput_hz = 0;  // graph iterations/sec, lower bound
+
+  bool has_buffers = false;
+  std::vector<std::size_t> buffer_capacities;  // per edge, deadlock-free
+
+  bool has_makespan = false;
+  maps::MappingVerdict makespan;
+};
+
+/// One-iteration workload bound W (ps): the guaranteed-sustainable
+/// source period for a consistent, deadlock-free graph. 0 when the
+/// graph is inconsistent or inherently deadlocked (no bound exists).
+[[nodiscard]] DurationPs guaranteed_period(const dataflow::Graph& g,
+                                           HertzT frequency);
+
+/// Minimal deadlock-free per-edge capacities by untimed abstract
+/// execution with back-pressure, grown from capacity_lower_bounds.
+/// Empty when the graph is inconsistent or inherently deadlocked.
+[[nodiscard]] std::vector<std::size_t> deadlock_free_capacities(
+    const dataflow::Graph& g);
+
+/// Compute every applicable bound for `t` (dataflow parts need
+/// t.dataflow; the makespan part needs t.task_graph and t.platform).
+[[nodiscard]] PerfContract compute_perf_contract(const Target& t);
+
+/// Channel sizing: raise cfg.buffer_capacities to at least the
+/// contract's deadlock-free capacities (never shrinks a provided
+/// capacity). No-op when the contract has no buffer part.
+void apply_buffer_contract(const PerfContract& c, dataflow::ExecConfig& cfg);
+
+}  // namespace rw::lint

@@ -45,16 +45,23 @@ const char* arbitration_name(ArbitrationStrategy s) {
 }
 
 double GangResult::mean_response_us() const {
-  if (apps.empty()) return 0.0;
   double sum = 0;
-  for (const auto& a : apps)
+  std::size_t ran = 0;
+  for (const auto& a : apps) {
+    if (!a.admitted) continue;  // rejected apps never ran
     sum += static_cast<double>(a.finish - a.arrival);
-  return sum / static_cast<double>(apps.size()) / 1e6;
+    ++ran;
+  }
+  if (ran == 0) return 0.0;
+  return sum / static_cast<double>(ran) / 1e6;
 }
 
 double GangResult::throughput_apps_per_ms() const {
   if (metrics.makespan == 0) return 0.0;
-  return static_cast<double>(apps.size()) /
+  std::size_t ran = 0;
+  for (const auto& a : apps)
+    if (a.admitted) ++ran;
+  return static_cast<double>(ran) /
          (static_cast<double>(metrics.makespan) / 1e9);
 }
 
@@ -62,6 +69,8 @@ RunMetrics GangResult::to_metrics() const {
   RunMetrics m = metrics;
   m.set_extra("arbitration_wait_ps", static_cast<double>(arbitration_wait));
   m.set_extra("operations", static_cast<double>(operations));
+  m.set_extra("rejected_infeasible",
+              static_cast<double>(rejected_infeasible));
   return m;
 }
 
@@ -97,6 +106,16 @@ GangResult run_gang_schedule(const GangConfig& cfg,
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     res.apps[i].arrival = requests[i].arrival;
+    // Static admission: a request carrying a performance contract its
+    // bound cannot satisfy is rejected outright — it would miss its
+    // deadline even granted the whole pool instantly.
+    if (requests[i].deadline > 0 && requests[i].makespan_bound > 0 &&
+        requests[i].makespan_bound + cfg.arbitration_latency >
+            requests[i].deadline) {
+      res.apps[i].admitted = false;
+      ++res.rejected_infeasible;
+      continue;
+    }
     events.push(Event{requests[i].arrival, false, i});
   }
 

@@ -67,6 +67,14 @@ const char* arbitration_name(ArbitrationStrategy s);
 struct GangRequest {
   ParallelApp app;
   TimePs arrival = 0;
+  /// Static performance contract (ISSUE 7, optional): a deadline and a
+  /// conservative makespan bound (e.g. maps::static_makespan_bound).
+  /// When both are nonzero and the bound plus one arbitration pass
+  /// exceeds the deadline, the request is rejected at admission — the
+  /// app provably cannot meet its deadline even granted instantly, so
+  /// it never occupies the FIFO. Zero means no contract (admit always).
+  DurationPs deadline = 0;
+  DurationPs makespan_bound = 0;
 };
 
 struct GangResult {
@@ -75,8 +83,10 @@ struct GangResult {
     TimePs start = 0;       // allocation granted (after arbitration)
     TimePs finish = 0;
     std::size_t cores = 0;  // gang size granted
+    bool admitted = true;   // false = statically-infeasible, never ran
   };
   std::vector<PerApp> apps;
+  std::uint64_t rejected_infeasible = 0;  // static-contract rejections
   /// Shared run-metrics shape (makespan, pool utilization); the gang
   /// counters below ride along as named extras when exported.
   RunMetrics metrics;

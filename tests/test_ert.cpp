@@ -580,6 +580,88 @@ TEST(ErtDriver, ListPrintsTemplateRegistry) {
     EXPECT_NE(out.str().find(name), std::string::npos) << name;
 }
 
+// ------------------------------------------- static admission (ISSUE 7)
+
+JobSpec realtime_chain(Cycles task_cycles) {
+  JobSpec spec;
+  spec.name = "rt_chain";
+  const auto a = spec.graph.add_task("a", task_cycles);
+  const auto b = spec.graph.add_task("b", task_cycles);
+  spec.graph.add_edge(a, b, 256);
+  spec.qos = QosClass::kRealtime;
+  return spec;
+}
+
+TEST(ErtStaticAdmission, InfeasibleRealtimeJobRejectedAtSubmit) {
+  ServiceConfig cfg;
+  cfg.static_admission = true;
+  Service service(cfg);
+  auto session = service.open_session(TenantConfig{.name = "rt"});
+  ASSERT_TRUE(session.ok());
+
+  // Price the job through the same primitive the service uses.
+  JobSpec spec = realtime_chain(4'000);
+  const DurationPs bound = static_makespan_bound_ps(spec, cfg);
+  ASSERT_GT(bound, 0u);
+
+  // Deadline one tick under the guarantee: provably hopeless, rejected
+  // at submit with the typed reason — it never reaches the queue.
+  JobSpec doomed = spec;
+  doomed.deadline = bound + cfg.arbitration_latency - 1;
+  const JobHandle hd = session.value().submit(doomed);
+  ASSERT_FALSE(hd.result().ok());
+  EXPECT_NE(hd.result().error().to_string().find("static-infeasible"),
+            std::string::npos)
+      << hd.result().error().to_string();
+
+  // The identical job with an honest deadline is admitted, completes,
+  // and — because the bound is conservative — meets that deadline.
+  JobSpec honest = spec;
+  honest.deadline = bound + cfg.arbitration_latency;
+  const JobHandle ho = session.value().submit(honest);
+  ASSERT_TRUE(ho.result().ok()) << ho.result().error().to_string();
+  EXPECT_TRUE(ho.result().value().deadline_met);
+  EXPECT_LE(ho.result().value().finished, honest.deadline);
+
+  const TenantStats stats = service.tenant_stats(0);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ErtStaticAdmission, PrecheckIsOffByDefault) {
+  // Same doomed spec, default config: the precheck never fires and the
+  // job runs (it may or may not miss its deadline — that is the dynamic
+  // outcome the static gate exists to predict, not to forbid).
+  ServiceConfig cfg;
+  ASSERT_FALSE(cfg.static_admission);
+  Service service(cfg);
+  auto session = service.open_session(TenantConfig{.name = "rt"});
+  ASSERT_TRUE(session.ok());
+
+  JobSpec doomed = realtime_chain(4'000);
+  doomed.deadline =
+      static_makespan_bound_ps(doomed, cfg) + cfg.arbitration_latency - 1;
+  const JobHandle h = session.value().submit(doomed);
+  EXPECT_TRUE(h.result().ok()) << h.result().error().to_string();
+  EXPECT_EQ(service.tenant_stats(0).rejected, 0u);
+}
+
+TEST(ErtStaticAdmission, OnlyRealtimeJobsArePrechecked) {
+  // Batch/standard jobs carry no guarantee; the gate ignores them even
+  // when enabled and their deadline looks hopeless.
+  ServiceConfig cfg;
+  cfg.static_admission = true;
+  Service service(cfg);
+  auto session = service.open_session(TenantConfig{.name = "be"});
+  ASSERT_TRUE(session.ok());
+
+  JobSpec batch = realtime_chain(4'000);
+  batch.qos = QosClass::kBatch;
+  batch.deadline = 1;  // absurd, but batch jobs are best-effort
+  EXPECT_TRUE(session.value().submit(batch).result().ok());
+}
+
 TEST(CliCommon, EnvelopeSplicesPayloadVerbatim) {
   const std::string doc = cli::envelope("demo", 7, "{\n  \"x\": 1\n}\n");
   EXPECT_NE(doc.find("\"schema\": \"rw-tool-1\""), std::string::npos);

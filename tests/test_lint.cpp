@@ -85,12 +85,15 @@ TEST(LintDiagnostic, JsonSchemaAndDeterminism) {
 
 TEST(LintPassManager, DefaultPassSetAndRestriction) {
   auto pm = PassManager::with_default_passes();
-  EXPECT_EQ(pm.passes().size(), 5u);
+  EXPECT_EQ(pm.passes().size(), 8u);
   EXPECT_NE(pm.find("static-race"), nullptr);
   EXPECT_NE(pm.find("static-deadlock"), nullptr);
   EXPECT_NE(pm.find("uninit-dataflow"), nullptr);
   EXPECT_NE(pm.find("buffer-bounds"), nullptr);
   EXPECT_NE(pm.find("shared-access"), nullptr);
+  EXPECT_NE(pm.find("static-throughput"), nullptr);
+  EXPECT_NE(pm.find("static-buffer-size"), nullptr);
+  EXPECT_NE(pm.find("static-makespan"), nullptr);
   EXPECT_EQ(pm.find("nope"), nullptr);
 
   pm.enable_only({"static-race"});
@@ -105,9 +108,12 @@ TEST(LintPassManager, InapplicablePassesAreRecordedNotRun) {
   const auto result = PassManager::with_default_passes().run(p.target());
   for (const auto& s : result.stats) {
     if (s.pass == "static-race" || s.pass == "uninit-dataflow" ||
-        s.pass == "shared-access")
+        s.pass == "shared-access") {
       EXPECT_FALSE(s.ran) << s.pass;
-    if (s.pass == "static-deadlock") EXPECT_TRUE(s.ran);
+    }
+    if (s.pass == "static-deadlock") {
+      EXPECT_TRUE(s.ran);
+    }
   }
 }
 
@@ -286,6 +292,19 @@ TEST(LintDriver, ArgParsing) {
 
   EXPECT_FALSE(parse_driver_args({"--bogus"}).ok());
   EXPECT_FALSE(parse_driver_args({"--help"}).ok());
+}
+
+TEST(LintDriver, PassesAcceptSpaceSeparatedLists) {
+  // The shell-friendly quoted form: `--passes "a b"` is the same
+  // selection as `--passes a,b`.
+  auto spaced = parse_driver_args(
+      {"--passes", "static-throughput static-makespan"});
+  ASSERT_TRUE(spaced.ok());
+  auto comma = parse_driver_args({"--passes=static-throughput,static-makespan"});
+  ASSERT_TRUE(comma.ok());
+  EXPECT_EQ(spaced.value().passes, comma.value().passes);
+  EXPECT_EQ(spaced.value().passes.size(), 2u);
+  EXPECT_TRUE(spaced.value().passes.count("static-makespan") == 1);
 }
 
 TEST(LintDriver, ExitCodesMatchFindings) {

@@ -1,0 +1,305 @@
+// Static performance contracts (ISSUE 7): every bound the performance
+// passes compute is checked against the very executor or platform it
+// claims to bound, across the whole corpus. The contract under test:
+//
+//   * static makespan bound >= list-scheduler estimate AND >= the
+//     contended virtual-platform replay (conservative upper bound),
+//   * static buffer capacities run deadlock-free dynamically,
+//   * guaranteed period >= the measured minimal sustainable period
+//     (static throughput is a lower bound on measured throughput).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/executor.hpp"
+#include "dataflow/throughput.hpp"
+#include "lint/corpus.hpp"
+#include "lint/pass.hpp"
+#include "lint/passes.hpp"
+#include "lint/perf_contract.hpp"
+#include "maps/mapping.hpp"
+#include "maps/perf_bounds.hpp"
+
+namespace rw::lint {
+namespace {
+
+std::uint64_t total_firings(const dataflow::Graph& g) {
+  const auto rv = g.repetition_vector();
+  if (!rv.ok()) return 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t f : rv.value().firings) total += f;
+  return total;
+}
+
+// ------------------------------------------------------------- makespan
+
+TEST(PerfContract, MakespanBoundDominatesEstimateAndPlatformReplay) {
+  std::size_t checked = 0;
+  for (const auto& p : build_corpus()) {
+    if (!p.has_mapped || !p.has_platform || !p.tasks.is_acyclic()) continue;
+    const auto pes = maps::pes_from_platform(p.platform);
+    const auto comm = maps::comm_cost_from_platform(p.platform);
+    const auto b =
+        maps::static_makespan_bound(p.tasks, pes, comm, p.task_to_pe);
+    EXPECT_GT(b.bound, 0u) << p.name;
+    EXPECT_EQ(b.bound, b.work + b.comm) << p.name;
+    // The contention-free critical path is the tightness floor, never
+    // above the serialized bound.
+    EXPECT_LE(b.critical_path, b.bound) << p.name;
+
+    const TimePs estimate =
+        maps::evaluate_mapping(p.tasks, pes, comm, p.task_to_pe);
+    EXPECT_LE(estimate, b.bound)
+        << p.name << ": list-scheduler estimate exceeds the static bound";
+
+    sim::PlatformConfig cfg = p.platform;
+    sim::Platform platform(std::move(cfg));
+    const TimePs measured =
+        maps::execute_on_platform(p.tasks, p.task_to_pe, platform);
+    EXPECT_LE(measured, b.bound)
+        << p.name << ": simulated makespan exceeds the static bound";
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u) << "corpus lost its mapped programs";
+}
+
+TEST(PerfContract, MakespanBoundCoversHeftsOwnAssignment) {
+  for (const auto& p : build_corpus()) {
+    if (!p.has_mapped || !p.has_platform || !p.tasks.is_acyclic()) continue;
+    const auto pes = maps::pes_from_platform(p.platform);
+    const auto comm = maps::comm_cost_from_platform(p.platform);
+    const auto mr = maps::heft_map(p.tasks, pes, comm);
+    const auto b =
+        maps::static_makespan_bound(p.tasks, pes, comm, mr.task_to_pe);
+    EXPECT_LE(mr.makespan, b.bound)
+        << p.name << ": HEFT makespan exceeds the bound of its own mapping";
+  }
+}
+
+TEST(PerfContract, AnyGangBoundDominatesEveryFixedAssignment) {
+  // The gang-size-independent bound (used by ert admission before a gang
+  // is even chosen) must dominate the fixed-assignment bound of every
+  // homogeneous gang under a distance-independent comm cost.
+  const maps::PeDesc pe{};
+  const auto comm = maps::simple_comm_cost(nanoseconds(50), 0.01);
+  for (const auto& p : build_corpus()) {
+    if (!p.has_mapped || !p.tasks.is_acyclic()) continue;
+    const auto any = maps::static_makespan_bound_any_gang(p.tasks, pe, comm);
+    for (const std::size_t gang : {1u, 2u, 4u}) {
+      const std::vector<maps::PeDesc> pes(gang, pe);
+      std::vector<std::size_t> round_robin(p.tasks.tasks().size());
+      for (std::size_t t = 0; t < round_robin.size(); ++t)
+        round_robin[t] = t % gang;
+      const auto fixed =
+          maps::static_makespan_bound(p.tasks, pes, comm, round_robin);
+      EXPECT_LE(fixed.bound, any.bound)
+          << p.name << " gang=" << gang
+          << ": fixed-assignment bound exceeds the any-gang bound";
+    }
+  }
+}
+
+TEST(PerfContract, VerifyMappingJudgesDeadlines) {
+  for (const auto& p : build_corpus()) {
+    if (!p.has_mapped || !p.has_platform || !p.tasks.is_acyclic()) continue;
+    const auto v = maps::verify_mapping(p.tasks, p.platform, p.task_to_pe);
+    EXPECT_EQ(v.has_deadline, p.tasks.annotation.deadline > 0) << p.name;
+    if (p.name == "tight_deadline") {
+      EXPECT_TRUE(v.has_deadline);
+      EXPECT_FALSE(v.provable)
+          << "the seeded 100ns deadline must be statically unprovable";
+      EXPECT_GT(v.bound.bound, v.deadline);
+    }
+    if (!v.has_deadline) {
+      EXPECT_FALSE(v.provable) << p.name;
+    }
+  }
+}
+
+// ----------------------------------------------------------- throughput
+
+TEST(PerfContract, GuaranteedPeriodIsSustainable) {
+  for (const auto& p : build_corpus()) {
+    if (!p.has_graph) continue;
+    const DurationPs w = guaranteed_period(p.graph, p.graph_cfg.frequency);
+    if (p.name == "starved_csdf") {
+      EXPECT_EQ(w, 0u) << "a deadlocked graph has no sustainable period";
+      continue;
+    }
+    ASSERT_GT(w, 0u) << p.name;
+
+    // The guarantee: the static scheduler accepts the graph at period W.
+    dataflow::ExecConfig cfg = p.graph_cfg;
+    cfg.source_period = w;
+    EXPECT_TRUE(dataflow::compute_static_schedule(p.graph, cfg).ok())
+        << p.name << ": period " << w << " ps is not schedulable";
+
+    // Conservativeness: the measured minimal sustainable period never
+    // exceeds W (static throughput lower bound <= measured throughput).
+    const DurationPs measured =
+        dataflow::min_sustainable_period(p.graph, p.graph_cfg);
+    if (measured > 0) {
+      EXPECT_LE(measured, w)
+          << p.name << ": measured minimal period exceeds the static bound";
+    }
+  }
+}
+
+// -------------------------------------------------------------- buffers
+
+TEST(PerfContract, StaticCapacitiesRunDeadlockFreeDynamically) {
+  for (const auto& p : build_corpus()) {
+    if (!p.has_graph) continue;
+    const auto caps = deadlock_free_capacities(p.graph);
+    if (p.name == "starved_csdf") {
+      EXPECT_TRUE(caps.empty())
+          << "no capacity assignment un-wedges a token-starved cycle";
+      continue;
+    }
+    ASSERT_EQ(caps.size(), p.graph.edges().size()) << p.name;
+    for (const std::size_t c : caps) EXPECT_GT(c, 0u) << p.name;
+
+    const std::uint64_t iteration = total_firings(p.graph);
+    ASSERT_GT(iteration, 0u) << p.name;
+
+    dataflow::ExecConfig cfg = p.graph_cfg;
+    cfg.buffer_capacities = caps;
+    cfg.source_period = std::max(
+        guaranteed_period(p.graph, cfg.frequency), cfg.source_period);
+    cfg.iterations = 8;
+    const auto res = dataflow::run_data_driven(p.graph, cfg);
+    EXPECT_GE(res.firings, iteration)
+        << p.name << ": the graph wedged under the static capacities";
+    EXPECT_EQ(res.internal_corruptions(), 0u) << p.name;
+    EXPECT_GT(res.sink_firings, 0u) << p.name;
+  }
+}
+
+// ------------------------------------------------------ contract bundle
+
+TEST(PerfContract, ComputeBundlesEveryApplicablePart) {
+  for (const auto& p : build_corpus()) {
+    const auto c = compute_perf_contract(p.target());
+    if (p.name == "clean_pipeline") {
+      EXPECT_TRUE(c.has_throughput);
+      EXPECT_GT(c.period_bound, 0u);
+      EXPECT_GT(c.min_throughput_hz, 0.0);
+      EXPECT_TRUE(c.has_buffers);
+      EXPECT_EQ(c.buffer_capacities.size(), p.graph.edges().size());
+      EXPECT_TRUE(c.has_makespan);
+      EXPECT_FALSE(c.makespan.has_deadline);
+    } else if (p.name == "starved_csdf") {
+      EXPECT_FALSE(c.has_throughput) << "deadlocked graph has no bound";
+      EXPECT_FALSE(c.has_buffers);
+      EXPECT_FALSE(c.has_makespan);
+    } else if (p.name == "tight_deadline") {
+      EXPECT_TRUE(c.has_makespan);
+      EXPECT_TRUE(c.makespan.has_deadline);
+      EXPECT_FALSE(c.makespan.provable);
+    }
+  }
+}
+
+TEST(PerfContract, ApplyBufferContractRaisesNeverShrinks) {
+  const auto corpus = build_corpus();
+  for (const auto& p : corpus) {
+    if (p.name != "clean_pipeline") continue;
+    const auto c = compute_perf_contract(p.target());
+    ASSERT_TRUE(c.has_buffers);
+
+    // Empty config adopts the contract wholesale.
+    dataflow::ExecConfig fresh;
+    apply_buffer_contract(c, fresh);
+    EXPECT_EQ(fresh.buffer_capacities, c.buffer_capacities);
+
+    // A designer-provided larger capacity is never shrunk; a smaller one
+    // is raised to the deadlock-free floor.
+    dataflow::ExecConfig sized;
+    sized.buffer_capacities.assign(c.buffer_capacities.size(), 0);
+    sized.buffer_capacities[0] = c.buffer_capacities[0] + 100;
+    apply_buffer_contract(c, sized);
+    EXPECT_EQ(sized.buffer_capacities[0], c.buffer_capacities[0] + 100);
+    for (std::size_t e = 1; e < sized.buffer_capacities.size(); ++e)
+      EXPECT_EQ(sized.buffer_capacities[e], c.buffer_capacities[e]);
+  }
+}
+
+// ------------------------------------------------------ passes + dedupe
+
+TEST(PerfPasses, ThroughputPassEmitsBoundNote) {
+  for (const auto& p : build_corpus()) {
+    if (p.name != "clean_pipeline") continue;
+    auto pm = PassManager::with_default_passes();
+    pm.enable_only({"static-throughput"});
+    const auto res = pm.run(p.target());
+    bool found = false;
+    for (const auto& d : res.diagnostics)
+      if (d.kind == "throughput-bound") {
+        found = true;
+        EXPECT_EQ(d.severity, Severity::kNote);
+        EXPECT_EQ(d.pass, "static-throughput");
+      }
+    EXPECT_TRUE(found) << "clean_pipeline should carry a throughput bound";
+  }
+}
+
+TEST(PerfPasses, MakespanPassFlagsOnlyTheTightDeadline) {
+  const auto pm = PassManager::with_default_passes();
+  for (const auto& p : build_corpus()) {
+    const auto res = pm.run(p.target());
+    bool unprovable = false;
+    for (const auto& d : res.diagnostics)
+      if (d.kind == "deadline-unprovable") unprovable = true;
+    EXPECT_EQ(unprovable, p.name == "tight_deadline") << p.name;
+  }
+}
+
+TEST(PerfPasses, DedupeIsRegistrationOrderIndependent) {
+  // static-buffer-size re-emits the deadlock report on a wedged graph;
+  // whatever order the two producing passes register in, the JSON is
+  // byte-identical and each finding appears exactly once.
+  for (const auto& p : build_corpus()) {
+    if (p.name != "starved_csdf") continue;
+
+    PassManager forward;
+    forward.add(make_deadlock_pass()).add(make_buffer_size_pass());
+    PassManager reversed;
+    reversed.add(make_buffer_size_pass()).add(make_deadlock_pass());
+
+    const auto a = forward.run(p.target());
+    const auto b = reversed.run(p.target());
+    EXPECT_EQ(a.to_json(), b.to_json())
+        << "dedupe output depends on pass registration order";
+
+    // No two surviving diagnostics share the dedupe identity.
+    std::set<std::string> keys;
+    for (const auto& d : a.diagnostics) {
+      std::string key = d.kind + "|" + d.location.unit + "|" +
+                        d.location.entity;
+      for (const auto& [k, v] : d.evidence) key += "|" + k + "=" + v;
+      EXPECT_TRUE(keys.insert(key).second)
+          << "duplicate survived dedupe: " << key;
+    }
+    EXPECT_FALSE(a.diagnostics.empty());
+  }
+}
+
+TEST(PerfPasses, DefaultRunWholeCorpusHasNoDuplicateFindings) {
+  const auto pm = PassManager::with_default_passes();
+  for (const auto& p : build_corpus()) {
+    const auto res = pm.run(p.target());
+    std::set<std::string> keys;
+    for (const auto& d : res.diagnostics) {
+      std::string key = d.kind + "|" + d.location.unit + "|" +
+                        d.location.entity;
+      for (const auto& [k, v] : d.evidence) key += "|" + k + "=" + v;
+      EXPECT_TRUE(keys.insert(key).second)
+          << p.name << ": duplicate finding " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rw::lint

@@ -286,6 +286,36 @@ TEST(Hybrid, SerialPhaseLimitsToOneCore) {
   EXPECT_NEAR(r.pool_apps[0].mean_cores, 1.0, 0.1);
 }
 
+// ------------------------------------- static-contract gang admission
+
+TEST(Gang, StaticallyInfeasibleRequestIsRejectedNotQueued) {
+  GangConfig cfg;
+  cfg.total_cores = 4;
+  const auto app = make_app("a", 1'000'000, 0.0);
+
+  GangRequest hopeless{app, 0};
+  hopeless.deadline = microseconds(10);
+  hopeless.makespan_bound = microseconds(20);  // bound alone blows the budget
+  GangRequest fine{app, 0};
+  fine.deadline = milliseconds(50);
+  fine.makespan_bound = microseconds(20);
+  GangRequest uncontracted{app, 0};  // no contract: always admitted
+
+  const GangResult r =
+      run_gang_schedule(cfg, {hopeless, fine, uncontracted});
+  ASSERT_EQ(r.apps.size(), 3u);
+  EXPECT_FALSE(r.apps[0].admitted);
+  EXPECT_EQ(r.apps[0].cores, 0u);
+  EXPECT_EQ(r.apps[0].finish, 0u);
+  EXPECT_TRUE(r.apps[1].admitted);
+  EXPECT_GT(r.apps[1].finish, 0u);
+  EXPECT_TRUE(r.apps[2].admitted);
+  EXPECT_EQ(r.rejected_infeasible, 1u);
+  // Rejected apps do not drag the response-time statistics to zero.
+  EXPECT_GT(r.mean_response_us(), 0.0);
+  EXPECT_EQ(r.to_metrics().extra_or("rejected_infeasible", 0.0), 1.0);
+}
+
 TEST(Hybrid, RejectsZeroCoreConfig) {
   HybridConfig cfg;
   cfg.time_shared_cores = 0;
