@@ -1,0 +1,77 @@
+// advise_remap: close the loop from analysis back into the mapper.
+//
+// The what-if engine makes candidate evaluation nearly free: a proposed
+// task move is one O(trace) re-timing instead of one simulation. The
+// adviser exploits that with a greedy hill-climb — take the critical
+// path's hottest compute segments, try re-homing each onto every other PE,
+// keep the move the re-timer predicts fastest, repeat — then pays for ONE
+// re-simulation at the end to verify. If reality disagrees (it should not;
+// the replay is exact for these executors) the advice reverts to the
+// baseline mapping, so advise_remap is never slower than what it started
+// from — the contract the tests and the E17 gate enforce.
+//
+// The result also distils the attribution into PlacementHints for the
+// other planning layers: preferred PEs (critical-path-hot first) feed
+// sched::SpaceAllocator::allocate_preferred, and the measured
+// communication share tunes maps::PartitionConfig::comm_weight.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "critpath/whatif.hpp"
+#include "maps/partition.hpp"
+#include "sched/spacealloc.hpp"
+
+namespace rw::critpath {
+
+/// Attribution distilled for the planning layers.
+struct PlacementHints {
+  /// PEs ordered by critical-path heat (hottest first); pass to
+  /// sched::SpaceAllocator::allocate_preferred.
+  std::vector<std::size_t> preferred_pes;
+  /// Distinct PEs the advised mapping actually uses (a gang-size hint).
+  std::size_t gang_cores = 0;
+  /// Fraction of the makespan owned by transfers.
+  double comm_fraction = 0.0;
+
+  /// Fold the hints into a partitioner config: when transfers own a large
+  /// share of the critical path, cutting fewer edges matters more than
+  /// balancing load (comm_weight scales up to 5x at comm_fraction 1.0),
+  /// and the task count should at least cover the advised gang.
+  [[nodiscard]] maps::PartitionConfig advise_partition(
+      maps::PartitionConfig base) const;
+};
+
+/// Grant a gang for the advised mapping: preferred (hot) PEs first, then
+/// lowest-free. Thin glue over allocate_preferred so callers holding only
+/// hints need not know the allocator API shape.
+[[nodiscard]] std::vector<std::size_t> allocate_with_hints(
+    sched::SpaceAllocator& alloc, const PlacementHints& hints,
+    std::size_t min_cores, std::size_t max_cores);
+
+struct RemapAdvice {
+  std::vector<std::size_t> task_to_pe;  // advised mapping (== input if none)
+  TimePs baseline_makespan = 0;   // observed, from the baseline trace
+  TimePs predicted_makespan = 0;  // re-timer's claim for the advised mapping
+  TimePs resim_makespan = 0;      // re-simulated truth for it
+  std::size_t moves = 0;          // accepted move edits
+  bool reverted = false;  // resim was slower -> advice fell back to baseline
+  std::uint64_t ops = 0;  // total re-timing work spent searching
+  PlacementHints hints;
+
+  [[nodiscard]] double speedup() const {
+    return resim_makespan == 0 ? 1.0
+                               : static_cast<double>(baseline_makespan) /
+                                     static_cast<double>(resim_makespan);
+  }
+};
+
+/// Greedy what-if hill-climb over task moves, verified by one final
+/// re-simulation. `rounds` bounds the accepted moves (one per round);
+/// each round evaluates (hot tasks x other PEs) candidate re-timings.
+[[nodiscard]] RemapAdvice advise_remap(
+    const maps::TaskGraph& g, const sim::PlatformConfig& cfg,
+    const std::vector<std::size_t>& task_to_pe, int rounds = 4);
+
+}  // namespace rw::critpath

@@ -1,0 +1,97 @@
+#include "critpath/whatif.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "maps/mapping.hpp"
+
+namespace rw::critpath {
+
+Prediction predict(const DepGraph& g, std::span<const Edit> edits,
+                   const maps::TaskGraph* oracle) {
+  const Retimed base = retime(g, {}, oracle);
+  const Retimed edited = retime(g, edits, oracle);
+  Prediction p;
+  p.baseline = base.makespan;
+  p.predicted = edited.makespan;
+  p.ops = base.ops + edited.ops;
+  return p;
+}
+
+DepGraph trace_mapping(const maps::TaskGraph& g, const sim::PlatformConfig& cfg,
+                       const std::vector<std::size_t>& task_to_pe) {
+  sim::PlatformConfig traced_cfg = cfg;
+  traced_cfg.trace_enabled = true;
+  sim::Platform platform(traced_cfg);
+  platform.tracer().set_enabled(true);
+  maps::execute_on_platform_traced(g, task_to_pe, platform);
+  const perf::TraceView view =
+      perf::TraceView::from_events(platform.tracer().events());
+  // The graph carries the *un*-traced config so what-if re-simulations of
+  // edited models run exactly like the caller's baseline.
+  return DepGraph::build(view, cfg);
+}
+
+maps::TaskGraph strip_dependences(
+    const maps::TaskGraph& g,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& removed) {
+  maps::TaskGraph out;
+  out.name = g.name;
+  out.annotation = g.annotation;
+  for (const maps::TaskNode& t : g.tasks()) {
+    const maps::TaskNodeId id = out.add_task(t.name, t.ref_cycles);
+    maps::TaskNode& n = out.task(id);
+    const maps::TaskNodeId keep = n.id;
+    n = t;  // copy every cost factor / annotation field
+    n.id = keep;
+  }
+  for (const maps::TaskEdge& e : g.edges()) {
+    const bool drop = std::any_of(
+        removed.begin(), removed.end(), [&](const auto& p) {
+          return p.first == e.src.value() && p.second == e.dst.value();
+        });
+    if (!drop) out.add_edge(e.src, e.dst, e.bytes);
+  }
+  return out;
+}
+
+GroundTruth resimulate(const maps::TaskGraph& g, const sim::PlatformConfig& cfg,
+                       const std::vector<std::size_t>& task_to_pe,
+                       std::span<const Edit> edits) {
+  GroundTruth t;
+  {
+    sim::Platform platform(cfg);
+    t.baseline = maps::execute_on_platform(g, task_to_pe, platform);
+  }
+  const EditedModel em = apply_edits(cfg, edits);
+  const maps::TaskGraph edited_graph = strip_dependences(g, em.removed);
+  std::vector<std::size_t> edited_map = task_to_pe;
+  const std::size_t npes = em.cfg.cores.empty() ? 1 : em.cfg.cores.size();
+  for (const auto& [task, pe] : em.moves)
+    if (task < edited_map.size()) edited_map[task] = pe % npes;
+  {
+    sim::Platform platform(em.cfg);
+    t.edited = maps::execute_on_platform(edited_graph, edited_map, platform);
+  }
+  return t;
+}
+
+Validation validate(const maps::TaskGraph& g, const sim::PlatformConfig& cfg,
+                    const std::vector<std::size_t>& task_to_pe,
+                    std::span<const Edit> edits) {
+  Validation v;
+  const DepGraph dep = trace_mapping(g, cfg, task_to_pe);
+  v.pred = predict(dep, edits, &g);
+  v.truth = resimulate(g, cfg, task_to_pe, edits);
+  if (v.truth.edited == 0) {
+    v.rel_error = v.pred.predicted == 0 ? 0.0 : 1.0;
+  } else {
+    const double diff =
+        std::fabs(static_cast<double>(v.pred.predicted) -
+                  static_cast<double>(v.truth.edited));
+    v.rel_error = diff / static_cast<double>(v.truth.edited);
+  }
+  return v;
+}
+
+}  // namespace rw::critpath

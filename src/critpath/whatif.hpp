@@ -1,0 +1,72 @@
+// What-if predictions and their ground truth.
+//
+// predict() answers "what would the makespan be under these edits?" from
+// the trace alone, in O(trace events). resimulate() answers the same
+// question the expensive way — apply the identical EditedModel to a fresh
+// platform and graph and re-run the transactional executor. validate()
+// runs both and reports the relative error; the repo's contract (held by
+// tests and the E17 CI gate) is that the error stays within 10% across
+// the workload corpus and single-edit sweeps, with the reservation-order
+// executors it is in fact exact.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "critpath/analysis.hpp"
+
+namespace rw::critpath {
+
+struct Prediction {
+  TimePs baseline = 0;   // retimed with no edits (== observed when exact)
+  TimePs predicted = 0;  // retimed under the edits
+  std::uint64_t ops = 0;  // replay work (both sweeps)
+
+  [[nodiscard]] double speedup() const {
+    return predicted == 0 ? 1.0
+                          : static_cast<double>(baseline) /
+                                static_cast<double>(predicted);
+  }
+};
+
+[[nodiscard]] Prediction predict(const DepGraph& g, std::span<const Edit> edits,
+                                 const maps::TaskGraph* oracle = nullptr);
+
+/// Re-simulated reality for the same edits.
+struct GroundTruth {
+  TimePs baseline = 0;  // executor on the unedited platform/graph/mapping
+  TimePs edited = 0;    // executor on the edited ones
+};
+
+[[nodiscard]] GroundTruth resimulate(const maps::TaskGraph& g,
+                                     const sim::PlatformConfig& cfg,
+                                     const std::vector<std::size_t>& task_to_pe,
+                                     std::span<const Edit> edits);
+
+struct Validation {
+  Prediction pred;
+  GroundTruth truth;
+  /// |predicted - resimulated| / resimulated (0 when both are 0).
+  double rel_error = 0.0;
+};
+
+/// Trace the baseline run, predict the edit from the trace, then re-simulate
+/// it — the full loop the 10% accuracy contract quantifies over.
+[[nodiscard]] Validation validate(const maps::TaskGraph& g,
+                                  const sim::PlatformConfig& cfg,
+                                  const std::vector<std::size_t>& task_to_pe,
+                                  std::span<const Edit> edits);
+
+/// Run the traced executor on a fresh platform built from `cfg` and return
+/// the dependence graph of what happened (the entry point every analysis
+/// above starts from).
+[[nodiscard]] DepGraph trace_mapping(const maps::TaskGraph& g,
+                                     const sim::PlatformConfig& cfg,
+                                     const std::vector<std::size_t>& task_to_pe);
+
+/// Copy of `g` with the EditedModel's removed dependences deleted.
+[[nodiscard]] maps::TaskGraph strip_dependences(
+    const maps::TaskGraph& g,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& removed);
+
+}  // namespace rw::critpath

@@ -89,6 +89,27 @@ TimePs execute_on_platform(const TaskGraph& g,
                            const std::vector<std::size_t>& task_to_pe,
                            sim::Platform& platform);
 
+/// As execute_on_platform, but records the full dependence structure into
+/// the platform tracer as segment metadata (enable the tracer first).
+/// This is the trace rw::critpath consumes; the event encoding is the
+/// contract perf::TraceView documents and parses:
+///   * kTaskStart  time=start   core=pe      label=task  a=task  b=cycles
+///   * kTaskEnd    time=finish  core=pe      label=task  a=task  b=ref_cycles
+///   * kMsgSend    time=xstart  core=src_pe  label=edge  a=(src<<32)|dst
+///                 b=bytes
+///   * kMsgRecv    time=xfinish core=dst_pe  label=edge  a=(src<<32)|dst
+///                 b=bytes
+/// Same-PE dependences record a zero-duration send/recv pair at the
+/// producer's finish time, so every happens-before edge — not just the
+/// ones that touch the fabric — survives into the trace. Events appear in
+/// reservation order (the executor's loop order), which is also the order
+/// every platform resource serializes requests in; timestamps within one
+/// core or one fabric are monotone but the global stream is not sorted.
+/// Timing is bit-identical to execute_on_platform.
+TimePs execute_on_platform_traced(const TaskGraph& g,
+                                  const std::vector<std::size_t>& task_to_pe,
+                                  sim::Platform& platform);
+
 /// Graceful degradation after a PE death (rw::fault).
 ///
 /// remap_on_failure keeps every surviving assignment in place and greedily

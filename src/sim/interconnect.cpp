@@ -7,12 +7,77 @@
 
 namespace rw::sim {
 
+// ------------------------------------------------ static timing model
+
+DurationPs bus_transfer_duration(const SharedBus::Config& cfg,
+                                 std::uint64_t bytes) {
+  const std::uint64_t beats =
+      (bytes + cfg.width_bytes - 1) / cfg.width_bytes;
+  return cycles_to_ps(cfg.arbitration_cycles + beats, cfg.frequency);
+}
+
+DurationPs mesh_serialization_time(const MeshNoc::Config& cfg,
+                                   std::uint64_t bytes) {
+  const std::uint64_t flits =
+      (bytes + cfg.link_width_bytes - 1) / cfg.link_width_bytes;
+  return cycles_to_ps(std::max<std::uint64_t>(flits, 1), cfg.link_frequency);
+}
+
+namespace {
+
+struct MeshCoord {
+  std::uint32_t x, y;
+};
+
+MeshCoord mesh_coord_of(const MeshNoc::Config& cfg, CoreId c) {
+  const std::uint32_t idx = c.value() % (cfg.width * cfg.height);
+  return MeshCoord{idx % cfg.width, idx / cfg.width};
+}
+
+std::size_t mesh_link_index(const MeshNoc::Config& cfg, MeshCoord from,
+                            MeshCoord to) {
+  // Direction encoding: 0=+x, 1=-x, 2=+y, 3=-y.
+  std::size_t dir = 0;
+  if (to.x == from.x + 1) {
+    dir = 0;
+  } else if (from.x == to.x + 1) {
+    dir = 1;
+  } else if (to.y == from.y + 1) {
+    dir = 2;
+  } else if (from.y == to.y + 1) {
+    dir = 3;
+  } else {
+    throw std::logic_error("link_index: nodes are not neighbours");
+  }
+  const std::size_t node = from.y * cfg.width + from.x;
+  return node * 4 + dir;
+}
+
+}  // namespace
+
+std::vector<std::size_t> mesh_route(const MeshNoc::Config& cfg, CoreId src,
+                                    CoreId dst) {
+  std::vector<std::size_t> links;
+  MeshCoord cur = mesh_coord_of(cfg, src);
+  const MeshCoord end = mesh_coord_of(cfg, dst);
+  // X first, then Y (deterministic, deadlock-free dimension ordering).
+  while (cur.x != end.x) {
+    const MeshCoord next{cur.x < end.x ? cur.x + 1 : cur.x - 1, cur.y};
+    links.push_back(mesh_link_index(cfg, cur, next));
+    cur = next;
+  }
+  while (cur.y != end.y) {
+    const MeshCoord next{cur.x, cur.y < end.y ? cur.y + 1 : cur.y - 1};
+    links.push_back(mesh_link_index(cfg, cur, next));
+    cur = next;
+  }
+  return links;
+}
+
 // ---------------------------------------------------------------- SharedBus
 
 DurationPs SharedBus::transfer_duration(std::uint64_t bytes) const {
-  const std::uint64_t beats =
-      (bytes + cfg_.width_bytes - 1) / cfg_.width_bytes;
-  return cycles_to_ps(cfg_.arbitration_cycles + beats, cfg_.frequency);
+  return bus_transfer_duration(cfg_, bytes);
 }
 
 std::pair<TimePs, TimePs> SharedBus::reserve_transfer(CoreId src, CoreId dst,
@@ -53,44 +118,17 @@ MeshNoc::MeshNoc(Kernel& kernel, Config cfg) : kernel_(kernel), cfg_(cfg) {
 }
 
 MeshNoc::Coord MeshNoc::coord_of(CoreId c) const {
-  const std::uint32_t idx = c.value() % (cfg_.width * cfg_.height);
-  return Coord{idx % cfg_.width, idx / cfg_.width};
+  const MeshCoord m = mesh_coord_of(cfg_, c);
+  return Coord{m.x, m.y};
 }
 
 std::size_t MeshNoc::link_index(Coord from, Coord to) const {
-  // Direction encoding: 0=+x, 1=-x, 2=+y, 3=-y.
-  std::size_t dir = 0;
-  if (to.x == from.x + 1) {
-    dir = 0;
-  } else if (from.x == to.x + 1) {
-    dir = 1;
-  } else if (to.y == from.y + 1) {
-    dir = 2;
-  } else if (from.y == to.y + 1) {
-    dir = 3;
-  } else {
-    throw std::logic_error("link_index: nodes are not neighbours");
-  }
-  const std::size_t node = from.y * cfg_.width + from.x;
-  return node * 4 + dir;
+  return mesh_link_index(cfg_, MeshCoord{from.x, from.y},
+                         MeshCoord{to.x, to.y});
 }
 
 std::vector<std::size_t> MeshNoc::route(CoreId src, CoreId dst) const {
-  std::vector<std::size_t> links;
-  Coord cur = coord_of(src);
-  const Coord end = coord_of(dst);
-  // X first, then Y (deterministic, deadlock-free dimension ordering).
-  while (cur.x != end.x) {
-    const Coord next{cur.x < end.x ? cur.x + 1 : cur.x - 1, cur.y};
-    links.push_back(link_index(cur, next));
-    cur = next;
-  }
-  while (cur.y != end.y) {
-    const Coord next{cur.x, cur.y < end.y ? cur.y + 1 : cur.y - 1};
-    links.push_back(link_index(cur, next));
-    cur = next;
-  }
-  return links;
+  return mesh_route(cfg_, src, dst);
 }
 
 std::uint32_t MeshNoc::hop_count(CoreId src, CoreId dst) const {
@@ -113,10 +151,7 @@ double MeshNoc::link_degrade(std::size_t link) const {
 }
 
 DurationPs MeshNoc::serialization_time(std::uint64_t bytes) const {
-  const std::uint64_t flits =
-      (bytes + cfg_.link_width_bytes - 1) / cfg_.link_width_bytes;
-  return cycles_to_ps(std::max<std::uint64_t>(flits, 1),
-                      cfg_.link_frequency);
+  return mesh_serialization_time(cfg_, bytes);
 }
 
 std::pair<TimePs, TimePs> MeshNoc::reserve_transfer(CoreId src, CoreId dst,

@@ -131,6 +131,13 @@ class MeshNoc final : public Interconnect {
   /// Number of mesh hops between two cores (XY route length).
   [[nodiscard]] std::uint32_t hop_count(CoreId src, CoreId dst) const;
 
+  /// Directed link indices of the XY route between two cores, in traversal
+  /// order (empty when src and dst map to the same node).
+  [[nodiscard]] std::vector<std::size_t> route_links(CoreId src,
+                                                     CoreId dst) const {
+    return route(src, dst);
+  }
+
   /// Per-link fault: scale the occupancy of one directed link (on top of
   /// the fabric-wide set_degrade factor). factor < 1.0 clamps to 1.0.
   void set_link_degrade(std::size_t link, double factor);
@@ -154,5 +161,18 @@ class MeshNoc final : public Interconnect {
   std::vector<TimePs> link_busy_until_;
   std::vector<double> link_degrade_;  // lazily sized; empty == all nominal
 };
+
+/// Static fabric timing model, exposed as pure functions of the configs so
+/// trace-driven analysis (rw::critpath) can replay exactly the arithmetic
+/// the live fabric uses — any drift between the two would silently bias
+/// what-if predictions, so the member functions delegate here.
+[[nodiscard]] DurationPs bus_transfer_duration(const SharedBus::Config& cfg,
+                                               std::uint64_t bytes);
+[[nodiscard]] DurationPs mesh_serialization_time(const MeshNoc::Config& cfg,
+                                                 std::uint64_t bytes);
+/// XY-route directed link indices between two cores under `cfg`'s
+/// geometry (same encoding as MeshNoc: node*4 + direction).
+[[nodiscard]] std::vector<std::size_t> mesh_route(const MeshNoc::Config& cfg,
+                                                  CoreId src, CoreId dst);
 
 }  // namespace rw::sim

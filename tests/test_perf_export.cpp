@@ -99,6 +99,30 @@ TEST(ExportTest, CsvHasHeaderPlusOneRowPerEpoch) {
   EXPECT_NE(csv.find("core1_util"), std::string::npos);
 }
 
+// Regression: a session over a platform that never runs a workload must
+// yield a zero-event trace that every exporter turns into a valid empty
+// document — no asserts, no divisions by a zero makespan or epoch width.
+TEST(ExportTest, ZeroEventSessionExportsAreValid) {
+  auto plat = make_platform(3);
+  PerfSession session(*plat, PerfConfig{});
+  plat->kernel().run();  // nothing spawned: the kernel retires instantly
+  const PerfReport report = session.report();
+  EXPECT_EQ(plat->tracer().events().size(), 0u);
+  EXPECT_EQ(report.makespan, 0u);
+  EXPECT_EQ(report.mean_utilization(), 0.0);
+
+  const std::string chrome = to_chrome_trace(plat->tracer().events());
+  EXPECT_EQ(chrome, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n");
+  EXPECT_EQ(to_folded_stacks(report.profile), "");
+  const std::string csv = to_csv(report.epochs, report.num_cores);
+  EXPECT_EQ(csv.rfind("epoch,start_ps,end_ps", 0), 0u);
+  EXPECT_EQ(csv.find('\n'), csv.size() - 1);  // header only
+  const std::string json = to_json(report);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"makespan_ps\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"epochs\": []"), std::string::npos);
+}
+
 TEST(ExportTest, EmptyInputsProduceValidSkeletons) {
   EXPECT_EQ(to_chrome_trace({}),
             "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}\n");

@@ -1,0 +1,19 @@
+// rwcritpath: trace a corpus workload on the virtual platform, extract and
+// attribute its critical path, sweep what-if edits against re-simulated
+// ground truth, run the remap adviser, and write the deterministic
+// CRITPATH_<workload>.json documents.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "critpath/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = rw::critpath::parse_crit_args(args);
+  if (!opts.ok()) {
+    std::cerr << opts.error().to_string() << "\n";
+    return 2;
+  }
+  return rw::critpath::run_critpath(opts.value(), std::cout).exit_code;
+}
