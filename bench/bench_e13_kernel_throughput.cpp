@@ -12,13 +12,26 @@
 // bit-identical event order (checked here via an order hash, and held by
 // tests/test_sim_kernel_queue.cpp via ExecutionRecorder fingerprints).
 //
-// Results land in BENCH_kernel.json; CI replays --tiny and fails if the
-// calendar queue regresses below the heap baseline recorded the same run.
+// A second axis covers the tile-partitioned engine (sim/parallel.hpp):
+// the same storm split over 1/2/4 tiles with cross-tile mailbox posts,
+// run once in the sequential reference mode and once with real worker
+// threads (force_threads, so the 1-CPU CI smoke still exercises the
+// threaded code path). Gates: the parallel fingerprint must equal the
+// sequential one on every cell (unconditional), and on machines with
+// enough hardware threads the 4-tile parallel run must clear a >=2x
+// wall-clock speedup over its own sequential reference.
+//
+// Results land in BENCH_kernel.json with wall-clock-derived fields
+// scrubbed (byte-identical across reruns, like BENCH_contracts.json); the
+// timing gates — calendar vs heap floors and the tiled speedup — are
+// enforced by this process's exit code, and CI replays --tiny, diffs the
+// rerun, and python-checks the identity fields plus the printed verdicts.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/strings.hpp"
@@ -26,7 +39,9 @@
 #include "harness/harness.hpp"
 #include "perf/workload.hpp"
 #include "sim/kernel.hpp"
+#include "sim/parallel.hpp"
 #include "sim/platform.hpp"
+#include "vpdebug/replay.hpp"
 
 namespace {
 
@@ -37,6 +52,9 @@ struct BenchConfig {
   std::uint64_t e2e_scale = 512;          // platform workload scale
   std::vector<std::int64_t> pendings = {0, 100, 10'000};
   std::vector<std::uint64_t> fanouts = {1, 4};
+  std::uint64_t tiled_events = 400'000;   // per tiled-storm run, all tiles
+  std::uint64_t tile_work = 256;          // mix64 rounds per event body
+  std::vector<std::uint32_t> tiles_axis = {1, 2, 4};
 };
 
 constexpr sim::QueuePolicy kPolicies[] = {sim::QueuePolicy::kBinaryHeap,
@@ -153,6 +171,196 @@ std::string storm_label(sim::QueuePolicy policy, std::int64_t pending,
                    static_cast<unsigned long long>(fanout));
 }
 
+// ------------------------------------------------------------ tiled storm
+
+constexpr DurationPs kTileLookahead = 2048;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kFnvInit = 1469598103934665603ULL;
+
+// Partitioned event storm: one independent sub-storm per tile, with 1/8 of
+// the children posted to a sibling tile through the engine's timestamped
+// mailboxes (landing exactly lookahead-deep, the earliest instant the
+// conservative contract admits). Tiles share no mutable state — each event
+// touches only its own tile's slot — so sequential and parallel execution
+// are bit-identical; per-tile order hashes fold in tile order into one
+// fingerprint.
+struct TiledStorm {
+  struct alignas(64) Tile {
+    sim::Kernel* k = nullptr;
+    std::uint64_t budget = 0;     // children this tile may still schedule
+    std::uint64_t fanout = 0;
+    std::uint64_t work = 0;       // mix64 rounds per event body
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t order_hash = kFnvInit;
+  };
+
+  sim::TiledEngine* engine = nullptr;
+  std::vector<Tile> tiles;
+
+  struct Event {
+    TiledStorm* storm;
+    std::uint32_t tile;
+    std::uint64_t id;
+    void operator()() const { storm->fire(tile, id); }
+  };
+
+  void fire(std::uint32_t t, std::uint64_t id) {
+    Tile& tl = tiles[t];
+    ++tl.executed;
+    // The event "body": deterministic busy work, folded into the hash so
+    // the optimizer cannot drop it.
+    std::uint64_t acc = id;
+    for (std::uint64_t w = 0; w < tl.work; ++w) acc = mix64(acc);
+    tl.order_hash = (tl.order_hash ^ id ^ (acc >> 63)) * kFnvPrime;
+    tl.order_hash = (tl.order_hash ^ tl.k->now()) * kFnvPrime;
+    const auto tcount = static_cast<std::uint32_t>(tiles.size());
+    for (std::uint64_t c = 0; c < tl.fanout && tl.scheduled < tl.budget;
+         ++c) {
+      const std::uint64_t child =
+          (static_cast<std::uint64_t>(t) << 40) | tl.scheduled++;
+      const std::uint64_t h = mix64(child);
+      const int pri = static_cast<int>((h >> 8) % 3) - 1;
+      if (tcount > 1 && h % 8 == 0) {
+        const std::uint32_t dst =
+            (t + 1 + static_cast<std::uint32_t>((h >> 16) % (tcount - 1))) %
+            tcount;
+        engine->post(t, dst, tl.k->now() + kTileLookahead + h % 2048,
+                     Event{this, dst, child}, pri);
+      } else {
+        tl.k->schedule_in(h % 2048, Event{this, t, child}, pri);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t total_executed() const {
+    std::uint64_t n = 0;
+    for (const Tile& t : tiles) n += t.executed;
+    return n;
+  }
+
+  // Per-tile digests combined in tile order — the same canonicalization
+  // ExecutionRecorder uses, so it is identical across exec modes.
+  [[nodiscard]] std::uint64_t fingerprint() const {
+    std::uint64_t f = kFnvInit;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      f = (f ^ t) * kFnvPrime;
+      f = (f ^ tiles[t].executed) * kFnvPrime;
+      f = (f ^ tiles[t].order_hash) * kFnvPrime;
+    }
+    return f;
+  }
+};
+
+RunMetrics run_tiled_storm(sim::QueuePolicy policy, const BenchConfig& cfg,
+                           std::uint32_t tiles, std::int64_t pending,
+                           bool parallel) {
+  std::vector<std::unique_ptr<sim::Kernel>> kernels;
+  std::vector<sim::Kernel*> ptrs;
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    kernels.push_back(std::make_unique<sim::Kernel>(policy));
+    ptrs.push_back(kernels.back().get());
+  }
+  sim::TiledEngine engine(
+      ptrs, kTileLookahead,
+      {parallel ? sim::ExecMode::kParallel : sim::ExecMode::kSequential,
+       /*force_threads=*/parallel});
+
+  TiledStorm storm;
+  storm.engine = &engine;
+  storm.tiles.resize(tiles);
+  for (std::uint32_t t = 0; t < tiles; ++t) {
+    TiledStorm::Tile& tl = storm.tiles[t];
+    tl.k = ptrs[t];
+    tl.budget = cfg.tiled_events / tiles;
+    tl.fanout = 4;
+    tl.work = cfg.tile_work;
+    // Parked backlog: `pending` is the steady depth of each tile's queue.
+    for (std::int64_t i = 0; i < pending; ++i)
+      tl.k->schedule_daemon_at(
+          milliseconds(1000) + static_cast<TimePs>(i) * 1000, [] {});
+    const std::uint64_t roots = std::min<std::uint64_t>(16, tl.budget);
+    for (std::uint64_t r = 0; r < roots; ++r)
+      tl.k->schedule_at(
+          mix64(r ^ (t * 0x9e3779b9ULL)) % 1000,
+          TiledStorm::Event{
+              &storm, t,
+              (static_cast<std::uint64_t>(t) << 40) | tl.scheduled++});
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+
+  RunMetrics m;
+  m.makespan = engine.now();
+  const std::uint64_t fp = storm.fingerprint();
+  m.set_extra("events", static_cast<double>(storm.total_executed()));
+  m.set_extra("events_per_sec",
+              static_cast<double>(storm.total_executed()) / (wall_ns / 1e9));
+  m.set_extra("wall_ms", wall_ns / 1e6);
+  m.set_extra("tiles", static_cast<double>(tiles));
+  m.set_extra("pending", static_cast<double>(pending));
+  m.set_extra("calendar",
+              policy == sim::QueuePolicy::kCalendar ? 1.0 : 0.0);
+  m.set_extra("parallel", parallel ? 1.0 : 0.0);
+  m.set_extra("used_parallel", engine.last_run_parallel() ? 1.0 : 0.0);
+  m.set_extra("epochs", static_cast<double>(engine.epochs()));
+  m.set_extra("cross_posts", static_cast<double>(engine.cross_posts()));
+  m.set_extra("fingerprint_lo", static_cast<double>(fp & 0xffffffffULL));
+  m.set_extra("fingerprint_hi", static_cast<double>(fp >> 32));
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.set_extra("hw_threads", static_cast<double>(hw));
+  m.set_extra("parallel_capable", hw >= tiles ? 1.0 : 0.0);
+  return m;
+}
+
+// End-to-end tiled identity: the tiled_pipeline workload on a 4-core
+// platform partitioned into 4 tiles, sequential vs threaded, fingerprinted
+// through ExecutionRecorder — the whole-stack version of the storm gate.
+RunMetrics run_e2e_tiled(const BenchConfig& cfg, bool parallel) {
+  sim::PlatformConfig pcfg = sim::PlatformConfig::homogeneous(4);
+  pcfg.trace_enabled = true;
+  sim::apply_tiling(pcfg, 4, /*partition_cores=*/true);
+  pcfg.kernel.exec =
+      parallel ? sim::ExecMode::kParallel : sim::ExecMode::kSequential;
+  sim::Platform plat(std::move(pcfg));
+  if (parallel) plat.engine()->set_force_threads(true);
+  vpdebug::ExecutionRecorder rec(plat);
+  perf::spawn_workload("tiled_pipeline", plat, /*seed=*/7, cfg.e2e_scale);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  plat.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+
+  RunMetrics m;
+  m.makespan = plat.now();
+  const std::uint64_t fp = rec.fingerprint();
+  m.set_extra("events", static_cast<double>(rec.events()));
+  m.set_extra("wall_ms", wall_ns / 1e6);
+  m.set_extra("parallel", parallel ? 1.0 : 0.0);
+  m.set_extra("used_parallel",
+              plat.engine()->last_run_parallel() ? 1.0 : 0.0);
+  m.set_extra("fingerprint_lo", static_cast<double>(fp & 0xffffffffULL));
+  m.set_extra("fingerprint_hi", static_cast<double>(fp >> 32));
+  const unsigned hw = std::thread::hardware_concurrency();
+  m.set_extra("hw_threads", static_cast<double>(hw));
+  m.set_extra("parallel_capable", hw >= 4 ? 1.0 : 0.0);
+  return m;
+}
+
+std::string tiled_label(std::uint32_t tiles, sim::QueuePolicy policy,
+                        std::int64_t pending, bool parallel) {
+  return strformat("tiled_t%u_%s_p%lld_%s", tiles,
+                   sim::queue_policy_name(policy),
+                   static_cast<long long>(pending),
+                   parallel ? "par" : "seq");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,6 +372,7 @@ int main(int argc, char** argv) {
       cfg.e2e_scale = 2;
       cfg.pendings = {0, 10'000};
       cfg.fanouts = {1};
+      cfg.tiled_events = 60'000;
     }
   }
 
@@ -181,6 +390,29 @@ int main(int argc, char** argv) {
                      [&cfg, policy](const harness::RunContext&) {
                        return run_e2e(policy, cfg);
                      });
+  for (const std::uint32_t tiles : cfg.tiles_axis)
+    for (const sim::QueuePolicy policy : kPolicies)
+      for (const std::int64_t pending : cfg.pendings) {
+        scenario.add_run(tiled_label(tiles, policy, pending, false),
+                         [&cfg, tiles, policy, pending](
+                             const harness::RunContext&) {
+                           return run_tiled_storm(policy, cfg, tiles,
+                                                  pending, false);
+                         });
+        if (tiles > 1)
+          scenario.add_run(tiled_label(tiles, policy, pending, true),
+                           [&cfg, tiles, policy, pending](
+                               const harness::RunContext&) {
+                             return run_tiled_storm(policy, cfg, tiles,
+                                                    pending, true);
+                           });
+      }
+  scenario.add_run("e2e_tiled_seq", [&cfg](const harness::RunContext&) {
+    return run_e2e_tiled(cfg, false);
+  });
+  scenario.add_run("e2e_tiled_par", [&cfg](const harness::RunContext&) {
+    return run_e2e_tiled(cfg, true);
+  });
   // Timing bench: one thread, so runs never contend for cores.
   const auto result = harness::Runner(harness::RunnerConfig{1}).run(scenario);
 
@@ -190,6 +422,7 @@ int main(int argc, char** argv) {
   Table t({"pending", "fanout", "heap Mev/s", "calendar Mev/s", "speedup",
            "identical"});
   bool deterministic = true;
+  bool queue_perf_ok = true;
   double deep_speedup = 0.0;
   for (const std::int64_t pending : cfg.pendings) {
     for (const std::uint64_t fanout : cfg.fanouts) {
@@ -208,8 +441,13 @@ int main(int argc, char** argv) {
       const double h = heap->metrics.extra_or("events_per_sec");
       const double c = cal->metrics.extra_or("events_per_sec");
       const double speedup = c / h;
-      if (pending == cfg.pendings.back() && fanout == cfg.fanouts.front())
-        deep_speedup = speedup;
+      const bool deep_cell =
+          pending == cfg.pendings.back() && fanout == cfg.fanouts.front();
+      if (deep_cell) deep_speedup = speedup;
+      // Perf gate: the calendar queue must not regress below the heap
+      // baseline recorded in this same run. Strict on the deep queue (the
+      // win case), 25% noise allowance elsewhere.
+      queue_perf_ok = queue_perf_ok && speedup >= (deep_cell ? 1.0 : 0.75);
       t.add_row({Table::num(static_cast<std::uint64_t>(pending)),
                  Table::num(fanout), strformat("%.1f", h / 1e6),
                  strformat("%.1f", c / 1e6), strformat("%.2fx", speedup),
@@ -233,12 +471,102 @@ int main(int argc, char** argv) {
   deterministic =
       deterministic && eh->metrics.makespan == ec->metrics.makespan;
 
-  if (const auto s = harness::write_json("BENCH_kernel.json", {result});
+  // ----------------------------------------------------------- tiles axis
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::uint32_t max_tiles = cfg.tiles_axis.back();
+  const bool parallel_capable = hw >= max_tiles;
+  std::printf("\ntile-partitioned engine (%u hardware threads, parallel "
+              "speedup gate %s)\n",
+              hw, parallel_capable ? "armed" : "skipped");
+  Table tt({"tiles", "policy", "pending", "seq Mev/s", "par Mev/s",
+            "par speedup", "identical"});
+  bool tiled_identical = true;
+  double tiled_speedup = 0.0;
+  for (const std::uint32_t tiles : cfg.tiles_axis) {
+    for (const sim::QueuePolicy policy : kPolicies) {
+      for (const std::int64_t pending : cfg.pendings) {
+        const auto* seq =
+            result.find(tiled_label(tiles, policy, pending, false));
+        const double s = seq->metrics.extra_or("events_per_sec");
+        if (tiles == 1) {
+          tt.add_row({Table::num(static_cast<std::uint64_t>(tiles)),
+                    sim::queue_policy_name(policy),
+                      Table::num(static_cast<std::uint64_t>(pending)),
+                      strformat("%.1f", s / 1e6), "-", "-", "-"});
+          continue;
+        }
+        const auto* par =
+            result.find(tiled_label(tiles, policy, pending, true));
+        const bool identical =
+            seq->metrics.makespan == par->metrics.makespan &&
+            seq->metrics.extra_or("events") ==
+                par->metrics.extra_or("events") &&
+            seq->metrics.extra_or("fingerprint_lo") ==
+                par->metrics.extra_or("fingerprint_lo") &&
+            seq->metrics.extra_or("fingerprint_hi") ==
+                par->metrics.extra_or("fingerprint_hi");
+        tiled_identical = tiled_identical && identical;
+        const double p = par->metrics.extra_or("events_per_sec");
+        const double speedup = p / s;
+        if (tiles == max_tiles &&
+            policy == sim::QueuePolicy::kCalendar &&
+            pending == cfg.pendings.back())
+          tiled_speedup = speedup;
+        tt.add_row({Table::num(static_cast<std::uint64_t>(tiles)),
+                    sim::queue_policy_name(policy),
+                    Table::num(static_cast<std::uint64_t>(pending)),
+                    strformat("%.1f", s / 1e6), strformat("%.1f", p / 1e6),
+                    strformat("%.2fx", speedup),
+                    identical ? "yes" : "NO"});
+      }
+    }
+  }
+  tt.print("conservative lookahead epochs; 'identical' = same makespan, "
+           "event count and per-tile order fingerprint, sequential vs "
+           "threaded");
+
+  const auto* ets = result.find("e2e_tiled_seq");
+  const auto* etp = result.find("e2e_tiled_par");
+  const bool e2e_tiled_identical =
+      ets->metrics.makespan == etp->metrics.makespan &&
+      ets->metrics.extra_or("fingerprint_lo") ==
+          etp->metrics.extra_or("fingerprint_lo") &&
+      ets->metrics.extra_or("fingerprint_hi") ==
+          etp->metrics.extra_or("fingerprint_hi");
+  std::printf("end-to-end tiled_pipeline (4 cores / 4 tiles): seq %.0fms, "
+              "par %.0fms, fingerprints %s\n",
+              ets->metrics.extra_or("wall_ms"),
+              etp->metrics.extra_or("wall_ms"),
+              e2e_tiled_identical ? "identical" : "DIVERGENT");
+  tiled_identical = tiled_identical && e2e_tiled_identical;
+
+  const bool speedup_ok = !parallel_capable || tiled_speedup >= 2.0;
+  std::printf("parallel gates: fingerprints %s; %u-tile speedup %.2fx "
+              "(>=2x gate %s)\n",
+              tiled_identical ? "identical" : "DIVERGENT", max_tiles,
+              tiled_speedup,
+              parallel_capable ? (speedup_ok ? "pass" : "FAIL")
+                               : "skipped: too few hardware threads");
+
+  // Scrub the nondeterministic wall-clock fields (and the throughputs
+  // derived from them) so the exported document is byte-identical across
+  // reruns — the timing lives on stdout and in this process's gates.
+  harness::ScenarioResult scrubbed = result;
+  scrubbed.wall_ns = 0;
+  for (harness::RunRecord& r : scrubbed.runs) {
+    r.metrics.wall_ns = 0;
+    std::erase_if(r.metrics.extra, [](const auto& kv) {
+      return kv.first == "events_per_sec" || kv.first == "wall_ms";
+    });
+  }
+  if (const auto s = harness::write_json("BENCH_kernel.json", {scrubbed});
       !s.ok())
     std::printf("warning: %s\n", s.error().to_string().c_str());
   std::printf("expected shape: speedup grows with pending depth (the heap "
               "pays O(log n)\nper event); >=2x at 10k pending "
-              "(measured %.2fx); every row identical.\n",
-              deep_speedup);
-  return deterministic ? 0 : 1;
+              "(measured %.2fx, floor %s); every row identical.\n",
+              deep_speedup, queue_perf_ok ? "held" : "BROKEN");
+  return deterministic && queue_perf_ok && tiled_identical && speedup_ok
+             ? 0
+             : 1;
 }

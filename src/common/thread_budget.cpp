@@ -1,0 +1,79 @@
+#include "common/thread_budget.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace rw::common {
+
+namespace {
+
+std::uint32_t default_total() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+std::atomic<std::uint32_t>& total_slot() {
+  static std::atomic<std::uint32_t> total{default_total()};
+  return total;
+}
+
+std::atomic<std::int64_t>& available_slot() {
+  static std::atomic<std::int64_t> avail{
+      static_cast<std::int64_t>(default_total())};
+  return avail;
+}
+
+}  // namespace
+
+std::uint32_t thread_budget_total() {
+  return total_slot().load(std::memory_order_relaxed);
+}
+
+std::uint32_t thread_budget_available() {
+  const std::int64_t a = available_slot().load(std::memory_order_relaxed);
+  return a > 0 ? static_cast<std::uint32_t>(a) : 0;
+}
+
+bool thread_budget_try_acquire(std::uint32_t n) {
+  if (n == 0) return true;
+  auto& avail = available_slot();
+  std::int64_t cur = avail.load(std::memory_order_relaxed);
+  while (cur >= static_cast<std::int64_t>(n)) {
+    if (avail.compare_exchange_weak(cur, cur - static_cast<std::int64_t>(n),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+std::uint32_t thread_budget_acquire_upto(std::uint32_t n) {
+  if (n == 0) return 0;
+  auto& avail = available_slot();
+  std::int64_t cur = avail.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur <= 0) return 0;
+    const std::int64_t grant =
+        cur < static_cast<std::int64_t>(n) ? cur : static_cast<std::int64_t>(n);
+    if (avail.compare_exchange_weak(cur, cur - grant,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed))
+      return static_cast<std::uint32_t>(grant);
+  }
+}
+
+void thread_budget_release(std::uint32_t n) {
+  if (n > 0)
+    available_slot().fetch_add(static_cast<std::int64_t>(n),
+                               std::memory_order_acq_rel);
+}
+
+std::uint32_t thread_budget_set_total_for_test(std::uint32_t total) {
+  const std::uint32_t prev =
+      total_slot().exchange(total, std::memory_order_acq_rel);
+  available_slot().store(static_cast<std::int64_t>(total),
+                         std::memory_order_release);
+  return prev;
+}
+
+}  // namespace rw::common

@@ -1,0 +1,40 @@
+// Process-wide worker-thread budget.
+//
+// Two layers of this codebase can spawn worker threads: the experiment
+// harness (one jthread per sweep worker) and the tiled simulation kernel
+// (one worker per tile, see sim/parallel.hpp). Nesting them — a harness
+// sweep whose every run spins up a 4-tile parallel kernel — would
+// oversubscribe the machine by threads x tiles. The budget is a single
+// process-wide pool of "extra" threads (hardware_concurrency - 1, the
+// calling thread is free); both layers acquire from it before spawning
+// and release when their workers join. The tiled engine acquires
+// all-or-nothing and falls back to its sequential mode on exhaustion —
+// a safe degradation, because tiled execution is bit-identical across
+// modes by construction.
+#pragma once
+
+#include <cstdint>
+
+namespace rw::common {
+
+/// Extra worker threads the process may run beyond the calling thread.
+[[nodiscard]] std::uint32_t thread_budget_total();
+
+/// Currently unclaimed permits.
+[[nodiscard]] std::uint32_t thread_budget_available();
+
+/// Claim exactly `n` permits; false (and no permits) when fewer remain.
+[[nodiscard]] bool thread_budget_try_acquire(std::uint32_t n);
+
+/// Claim up to `n` permits; returns how many were granted (possibly 0).
+[[nodiscard]] std::uint32_t thread_budget_acquire_upto(std::uint32_t n);
+
+/// Return previously claimed permits.
+void thread_budget_release(std::uint32_t n);
+
+/// Test hook: replace the pool with `total` unclaimed permits, so budget
+/// exhaustion and fallback paths are reproducible on any machine. Returns
+/// the previous total.
+std::uint32_t thread_budget_set_total_for_test(std::uint32_t total);
+
+}  // namespace rw::common

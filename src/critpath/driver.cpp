@@ -38,6 +38,11 @@ sim::PlatformConfig platform_for(const CritOptions& opts, bool hetero) {
     cfg.mesh.width = w;
     cfg.mesh.height = (static_cast<std::uint32_t>(opts.cores) + w - 1) / w;
   }
+  // Critical-path replay is cross-core by construction (every task can
+  // touch every PE), so cores stay on tile 0 and --threads only selects
+  // the parallel engine for any event-driven phases.
+  if (opts.threads > 1)
+    sim::apply_tiling(cfg, opts.threads, /*partition_cores=*/false);
   return cfg;
 }
 

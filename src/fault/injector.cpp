@@ -43,23 +43,58 @@ std::string FaultTimeline::to_json() const {
 }
 
 FaultInjector::FaultInjector(sim::Platform& platform, FaultPlan plan)
-    : platform_(platform), events_(plan.events()) {}
+    : platform_(platform), events_(plan.events()) {
+  if (platform_.tile_count() > 1)
+    tile_streams_.resize(platform_.tile_count() - 1);
+}
+
+FaultTimeline FaultInjector::merged_timeline() const {
+  FaultTimeline merged = timeline_;
+  if (tile_streams_.empty()) return merged;
+  std::vector<FaultRecord> all = merged.records();
+  for (const FaultTimeline& tl : tile_streams_)
+    all.insert(all.end(), tl.records().begin(), tl.records().end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const FaultRecord& a, const FaultRecord& b) {
+                     return a.time < b.time;
+                   });
+  FaultTimeline out;
+  for (FaultRecord& r : all)
+    out.record(r.time, std::move(r.what), r.target, r.a, r.b,
+               std::move(r.note));
+  return out;
+}
 
 void FaultInjector::arm() {
   if (armed_) return;
   armed_ = true;
-  auto& kernel = platform_.kernel();
   for (std::size_t i = 0; i < events_.size(); ++i) {
-    const TimePs when = std::max(events_[i].time, kernel.now());
-    kernel.schedule_daemon_at(when, [this, i] { apply(i); });
+    const FaultEvent& e = events_[i];
+    // Route the fault to the tile that owns its target state.
+    std::uint32_t tile = 0;
+    switch (e.kind) {
+      case FaultKind::kCoreCrash:
+      case FaultKind::kCoreStall:
+        tile = platform_.tile_of_core(e.target % platform_.core_count());
+        break;
+      case FaultKind::kMemBitFlip:
+        if (const sim::Region* r = platform_.memory().find_region(e.a))
+          tile = r->tile;
+        break;
+      default:
+        break;  // fabric / DMA / IRQ state lives on tile 0
+    }
+    auto& kernel = platform_.tile_kernel(tile);
+    const TimePs when = std::max(e.time, kernel.now());
+    kernel.schedule_daemon_at(when, [this, i, tile] { apply(i, tile); });
   }
 }
 
-void FaultInjector::apply(std::size_t i) {
+void FaultInjector::apply(std::size_t i, std::uint32_t tile) {
   const FaultEvent& e = events_[i];
   auto& plat = platform_;
-  const TimePs now = plat.kernel().now();
-  ++applied_;
+  const TimePs now = plat.tile_kernel(tile).now();
+  applied_.fetch_add(1, std::memory_order_relaxed);
   std::string note;
 
   switch (e.kind) {
@@ -100,8 +135,8 @@ void FaultInjector::apply(std::size_t i) {
       plat.memory().peek(e.a, std::span<std::uint8_t>(&byte, 1));
       byte = static_cast<std::uint8_t>(byte ^ (1U << (e.b % 8)));
       plat.memory().poke(e.a, std::span<const std::uint8_t>(&byte, 1));
-      plat.tracer().record(now, sim::TraceKind::kCustom, sim::CoreId{},
-                           "fault.bitflip", e.a, e.b);
+      plat.tile_tracer(tile).record(now, sim::TraceKind::kCustom,
+                                    sim::CoreId{}, "fault.bitflip", e.a, e.b);
       break;
     }
     case FaultKind::kDmaAbort:
@@ -115,8 +150,8 @@ void FaultInjector::apply(std::size_t i) {
       plat.irqc().raise(e.target % sim::InterruptController::kNumLines);
       break;
   }
-  timeline_.record(now, fault_kind_name(e.kind), e.target, e.a, e.b,
-                   std::move(note));
+  stream_for(tile).record(now, fault_kind_name(e.kind), e.target, e.a, e.b,
+                          std::move(note));
 }
 
 }  // namespace rw::fault

@@ -11,6 +11,7 @@
 // argument calls for.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -59,21 +60,40 @@ class FaultInjector {
   FaultInjector(sim::Platform& platform, FaultPlan plan);
 
   /// Schedule one daemon event per plan event (empty plan: none at all).
-  /// Events whose time already passed fire at the current time.
+  /// Events whose time already passed fire at the current time. On a tiled
+  /// platform each fault is armed on the kernel of the tile that owns its
+  /// target — core faults on the core's tile, bit-flips on the region's
+  /// tile, fabric/DMA/IRQ faults on tile 0 — so applying it touches only
+  /// state local to the executing worker.
   void arm();
 
   [[nodiscard]] std::size_t armed_events() const { return events_.size(); }
-  [[nodiscard]] std::size_t applied() const { return applied_; }
+  [[nodiscard]] std::size_t applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  /// The tile-0 record stream. On an untiled platform this is the whole
+  /// timeline (and recovery actions land here); use merged_timeline() for
+  /// the cross-tile chronological view.
   [[nodiscard]] FaultTimeline& timeline() { return timeline_; }
   [[nodiscard]] const FaultTimeline& timeline() const { return timeline_; }
 
+  /// All tiles' records merged into one chronological timeline (stable:
+  /// ties keep tile order, tile 0 first). Deterministic across ExecMode.
+  [[nodiscard]] FaultTimeline merged_timeline() const;
+
  private:
-  void apply(std::size_t i);
+  void apply(std::size_t i, std::uint32_t tile);
+  [[nodiscard]] FaultTimeline& stream_for(std::uint32_t tile) {
+    return tile == 0 ? timeline_ : tile_streams_[tile - 1];
+  }
 
   sim::Platform& platform_;
   std::vector<FaultEvent> events_;
   FaultTimeline timeline_;
-  std::size_t applied_ = 0;
+  std::vector<FaultTimeline> tile_streams_;  // tiles 1..N-1
+  // Atomic only because two tiles may fire faults in the same epoch; the
+  // final count is deterministic regardless.
+  std::atomic<std::size_t> applied_{0};
   bool armed_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "fault/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -178,6 +179,11 @@ sim::Process sink_proc(RunCtx& ctx) {
 ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
                         std::size_t* num_links_out) {
   sim::PlatformConfig pc = sim::PlatformConfig::homogeneous(cfg.cores);
+  if (cfg.threads > 1) {
+    pc.kernel.num_tiles = static_cast<std::uint32_t>(
+        std::min<std::size_t>(cfg.threads, cfg.cores));
+    pc.kernel.exec = sim::ExecMode::kParallel;
+  }
   if (cfg.mesh) {
     pc.interconnect = sim::PlatformConfig::Icn::kMesh;
     const auto side = static_cast<std::uint32_t>(
@@ -218,7 +224,7 @@ ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
   for (std::size_t s = 0; s < cfg.cores; ++s)
     spawn(plat.kernel(), stage_proc(ctx, s));
   spawn(plat.kernel(), sink_proc(ctx));
-  plat.kernel().run(kMaxEvents);
+  plat.run(kMaxEvents);
 
   ScenarioOutcome out;
   out.items_target = cfg.items;
@@ -227,7 +233,7 @@ ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
                                : static_cast<double>(ctx.items_done) /
                                      static_cast<double>(cfg.items);
   out.finish_time = ctx.finish_time;
-  out.makespan = plat.kernel().now();
+  out.makespan = plat.now();
   out.deadlocked = !ctx.finished;
   out.faults_injected = injector.applied();
   for (std::size_t c = 0; c < plat.core_count(); ++c)
@@ -244,7 +250,7 @@ ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
   if (wdt) out.watchdog_expiries = wdt->expired_count();
   out.sem_skips = ctx.sem_skips;
   out.items_dropped = ctx.items_dropped;
-  out.timeline = injector.timeline();
+  out.timeline = injector.merged_timeline();
   return out;
 }
 

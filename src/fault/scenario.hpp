@@ -37,6 +37,13 @@ struct ScenarioConfig {
   /// directed tests). The random plan is windowed to twice the healthy
   /// makespan so faults land while work is actually in flight.
   const FaultPlan* explicit_plan = nullptr;
+
+  /// Simulation-kernel tile partitions (rwfault --threads). 1 = the plain
+  /// sequential kernel; >1 runs the conservative tiled engine in parallel
+  /// mode. The scenario's own state stays on tile 0, so outcomes and
+  /// timelines are bit-identical for every value — this knob exists to
+  /// prove exactly that on the fault corpus.
+  std::uint32_t threads = 1;
 };
 
 struct ScenarioOutcome {

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/json.hpp"
+#include "common/thread_budget.hpp"
 #include "common/units.hpp"
 
 namespace rw::harness {
@@ -114,11 +115,21 @@ ScenarioResult Runner::run(const Scenario& s) const {
   if (out.threads_used <= 1) {
     worker();
   } else {
-    std::vector<std::jthread> pool;
-    pool.reserve(out.threads_used);
-    for (std::size_t t = 0; t < out.threads_used; ++t)
-      pool.emplace_back(worker);
-  }  // jthread joins on scope exit
+    // Claim thread-budget permits for the extra workers so nested tiled
+    // engines (sim::TiledEngine) see an owned machine and fall back to
+    // their bit-identical sequential mode instead of oversubscribing.
+    // The sweep's own worker count is unchanged either way — results are
+    // byte-identical across thread counts by the harness contract.
+    const auto extra = static_cast<std::uint32_t>(out.threads_used - 1);
+    const std::uint32_t permits = common::thread_budget_acquire_upto(extra);
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(out.threads_used);
+      for (std::size_t t = 0; t < out.threads_used; ++t)
+        pool.emplace_back(worker);
+    }  // jthread joins on scope exit
+    common::thread_budget_release(permits);
+  }
 
   out.wall_ns = elapsed_ns(scenario_t0);
   return out;

@@ -50,7 +50,8 @@ Result<ProfOptions> parse_prof_args(const std::vector<std::string>& args) {
 
 namespace {
 
-std::unique_ptr<sim::Platform> build_platform(const ProfOptions& opts) {
+std::unique_ptr<sim::Platform> build_platform(const ProfOptions& opts,
+                                              std::string_view workload) {
   sim::PlatformConfig cfg = sim::PlatformConfig::homogeneous(opts.cores);
   cfg.trace_enabled = true;
   if (opts.mesh) {
@@ -61,6 +62,9 @@ std::unique_ptr<sim::Platform> build_platform(const ProfOptions& opts) {
     cfg.mesh.height =
         (static_cast<std::uint32_t>(opts.cores) + side - 1) / side;
   }
+  if (opts.threads > 1)
+    sim::apply_tiling(cfg, opts.threads,
+                      /*partition_cores=*/workload_tileable(workload));
   return std::make_unique<sim::Platform>(std::move(cfg));
 }
 
@@ -147,7 +151,7 @@ ProfReport run_prof(const ProfOptions& opts, std::ostream& out) {
     for (const auto& wl : workload_registry()) names.push_back(wl.name);
 
   for (const auto& name : names) {
-    auto platform = build_platform(opts);
+    auto platform = build_platform(opts, name);
     PerfConfig pcfg;
     pcfg.profiler.period = opts.period;
     pcfg.epoch_width = opts.epoch;
@@ -159,7 +163,7 @@ ProfReport run_prof(const ProfOptions& opts, std::ostream& out) {
       gov->start();
     }
     spawn_workload(name, *platform, opts.seed, opts.scale);
-    platform->kernel().run();
+    platform->run();
 
     WorkloadOutcome oc;
     oc.workload = name;

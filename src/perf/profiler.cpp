@@ -16,15 +16,20 @@ SamplingProfiler::SamplingProfiler(sim::Platform& platform, ProfilerConfig cfg)
 void SamplingProfiler::start() {
   if (started_) return;
   started_ = true;
-  platform_.kernel().schedule_daemon_in(
-      cfg_.period, [this] { tick(); }, cfg_.tick_priority);
+  for (std::uint32_t t = 0; t < platform_.tile_count(); ++t) {
+    platform_.tile_kernel(t).schedule_daemon_in(
+        cfg_.period, [this, t] { tick(t); }, cfg_.tick_priority);
+  }
 }
 
-void SamplingProfiler::tick() {
-  auto& kernel = platform_.kernel();
+void SamplingProfiler::tick(std::uint32_t tile) {
+  auto& kernel = platform_.tile_kernel(tile);
   const TimePs now = kernel.now();
-  ++ticks_;
+  if (tile == 0) ++ticks_;
   for (std::size_t i = 0; i < platform_.core_count(); ++i) {
+    // Each daemon samples only its own tile's cores: a cell is written by
+    // exactly one tile, and core state is read on the core's home kernel.
+    if (platform_.tile_of_core(i) != tile) continue;
     sim::Core& core = platform_.core(i);
     if (core.idle_at(now)) {
       ++idle_per_core_[i];
@@ -46,7 +51,7 @@ void SamplingProfiler::tick() {
   }
   // Daemon rescheduling: the kernel drops pending daemons once the model
   // drains, so the sampler never prevents kernel.run() from returning.
-  kernel.schedule_daemon_in(cfg_.period, [this] { tick(); },
+  kernel.schedule_daemon_in(cfg_.period, [this, tile] { tick(tile); },
                             cfg_.tick_priority);
 }
 

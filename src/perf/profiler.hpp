@@ -46,10 +46,14 @@ class SamplingProfiler {
  public:
   SamplingProfiler(sim::Platform& platform, ProfilerConfig cfg);
 
-  /// Schedule the first tick (idempotent).
+  /// Schedule the first tick (idempotent). On a tiled platform one daemon
+  /// rides each tile's kernel and samples only that tile's cores — a
+  /// tile's profile cells are written exclusively from its own worker, so
+  /// sampling stays race-free and bit-identical under parallel execution.
   void start();
 
-  /// Ticks taken so far (each tick samples every core once).
+  /// Ticks taken so far (each tick samples every core once; on a tiled
+  /// platform this counts tile 0's daemon, the reference clock).
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
   [[nodiscard]] const ProfilerConfig& config() const { return cfg_; }
 
@@ -78,7 +82,7 @@ class SamplingProfiler {
   [[nodiscard]] Profile profile() const;
 
  private:
-  void tick();
+  void tick(std::uint32_t tile);
 
   sim::Platform& platform_;
   ProfilerConfig cfg_;

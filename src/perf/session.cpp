@@ -68,7 +68,11 @@ PerfSession::PerfSession(sim::Platform& platform, PerfConfig cfg)
     profiler_ = std::make_unique<SamplingProfiler>(platform_, cfg_.profiler);
     profiler_->start();
   }
-  if (cfg_.collect_epochs) {
+  // The epoch collector snapshots *global* PMU state from a tile-0 daemon,
+  // which would read other tiles' counters mid-window under parallel
+  // execution; on a tiled platform it stays off (the headline report is
+  // unaffected — only the per-epoch timeline is skipped).
+  if (cfg_.collect_epochs && platform_.tile_count() == 1) {
     epochs_ =
         std::make_unique<EpochCollector>(platform_, pmu_, cfg_.epoch_width);
     epochs_->start();
@@ -85,7 +89,7 @@ void PerfSession::detach() {
 
 PerfReport PerfSession::report() {
   PerfReport r;
-  r.makespan = platform_.kernel().now();
+  r.makespan = platform_.now();  // max tile clock on a tiled platform
   r.num_cores = platform_.core_count();
   r.pmu = pmu_.snapshot(r.makespan);
   if (profiler_) {

@@ -5,6 +5,7 @@
 #include "common/strings.hpp"
 #include "sim/channel.hpp"
 #include "sim/process.hpp"
+#include "sim/tilelink.hpp"
 
 namespace rw::perf {
 
@@ -174,6 +175,60 @@ void spawn_hammer(sim::Platform& plat, std::uint64_t seed,
   sim::spawn(plat.kernel(), hammer_dma_kick(plat, scale));
 }
 
+// ------------------------------------------------------------ tiled_pipeline
+
+struct TiledPipeState {
+  std::vector<std::unique_ptr<sim::TileLink<std::uint64_t>>> links;
+};
+
+// One pipeline stage per core. Unlike `pipeline`, the stages communicate
+// over TileLinks (fabric-timed, tile-safe) and keep their state in their
+// own scratchpad — the strict-locality shape that partitions cleanly into
+// tiles. On an untiled platform the links collapse to plain kernel events
+// with the same timing, so the workload runs (and means the same thing)
+// for every num_tiles.
+sim::Process tiled_stage(sim::Platform& plat,
+                         std::shared_ptr<TiledPipeState> st, std::size_t idx,
+                         std::uint64_t items, std::uint64_t seed) {
+  sim::Core& core = plat.core(idx);
+  sim::Kernel& k = plat.tile_kernel(plat.tile_of_core(idx));
+  const std::size_t last = plat.core_count() - 1;
+  const bool has_spm = plat.config().cores[idx].scratchpad_bytes >= 4096;
+  const sim::Addr spm = plat.scratchpad_base(core.id());
+  std::uint64_t rng = seed ^ (0x7e11ull * (idx + 1));
+  for (std::uint64_t i = 0; i < items; ++i) {
+    std::uint64_t v = i;
+    if (idx > 0) {
+      v = co_await st->links[idx - 1]->recv();
+    } else {
+      co_await sim::delay(k, nanoseconds(400));
+    }
+    co_await core.compute(1500 + splitmix(rng) % 2500,
+                          strformat("tstage%zu", idx));
+    if (has_spm) {
+      // Local state round trip: a stage touches only its own scratchpad —
+      // the locality the tiled memory guard turns into a hard rule.
+      plat.memory().write_u64(core.id(), spm + (v % 512) * 8, v);
+      v += plat.memory().read_u64(core.id(), spm + (v % 512) * 8);
+    }
+    if (idx < last) co_await st->links[idx]->send(v);
+  }
+}
+
+void spawn_tiled_pipeline(sim::Platform& plat, std::uint64_t seed,
+                          std::uint64_t scale) {
+  const std::size_t n = plat.core_count();
+  const std::uint64_t items = 16 * scale;
+  auto st = std::make_shared<TiledPipeState>();
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    st->links.push_back(std::make_unique<sim::TileLink<std::uint64_t>>(
+        plat, plat.core(i).id(), plat.core(i + 1).id(), /*capacity=*/2,
+        /*bytes_per_msg=*/256, strformat("tlink%zu", i)));
+  for (std::size_t i = 0; i < n; ++i)
+    sim::spawn(plat.tile_kernel(plat.tile_of_core(i)),
+               tiled_stage(plat, st, i, items, seed));
+}
+
 }  // namespace
 
 const std::vector<WorkloadInfo>& workload_registry() {
@@ -184,6 +239,9 @@ const std::vector<WorkloadInfo>& workload_registry() {
        "serial master + parallel workers; Amdahl-shaped utilization"},
       {"shared_hammer",
        "all cores burst shared memory and fabric; contention-bound"},
+      {"tiled_pipeline",
+       "per-core stages over fabric-timed tile links; partitions into "
+       "tiles with no shared state"},
   };
   return kRegistry;
 }
@@ -192,6 +250,10 @@ bool is_workload(std::string_view name) {
   for (const auto& w : workload_registry())
     if (w.name == name) return true;
   return false;
+}
+
+bool workload_tileable(std::string_view name) {
+  return name == "tiled_pipeline";
 }
 
 bool spawn_workload(std::string_view name, sim::Platform& platform,
@@ -203,6 +265,8 @@ bool spawn_workload(std::string_view name, sim::Platform& platform,
     spawn_forkjoin(platform, seed, scale);
   } else if (name == "shared_hammer") {
     spawn_hammer(platform, seed, scale);
+  } else if (name == "tiled_pipeline") {
+    spawn_tiled_pipeline(platform, seed, scale);
   } else {
     return false;
   }

@@ -23,6 +23,14 @@ DurationPs mesh_serialization_time(const MeshNoc::Config& cfg,
   return cycles_to_ps(std::max<std::uint64_t>(flits, 1), cfg.link_frequency);
 }
 
+DurationPs bus_min_latency(const SharedBus::Config& cfg) {
+  return cycles_to_ps(cfg.arbitration_cycles, cfg.frequency);
+}
+
+DurationPs mesh_min_latency(const MeshNoc::Config& cfg) {
+  return cfg.hop_latency;
+}
+
 namespace {
 
 struct MeshCoord {

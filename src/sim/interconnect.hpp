@@ -175,4 +175,13 @@ class MeshNoc final : public Interconnect {
 [[nodiscard]] std::vector<std::size_t> mesh_route(const MeshNoc::Config& cfg,
                                                   CoreId src, CoreId dst);
 
+/// Smallest latency the fabric can impose on any cross-core message — the
+/// conservative lookahead floor of the tiled engine (parallel.hpp). For
+/// the bus it is the per-transfer arbitration overhead (paid before the
+/// first beat lands); for the mesh it is one hop's latency. A config that
+/// makes these zero cannot bound cross-tile causality and is rejected by
+/// validate_tiling().
+[[nodiscard]] DurationPs bus_min_latency(const SharedBus::Config& cfg);
+[[nodiscard]] DurationPs mesh_min_latency(const MeshNoc::Config& cfg);
+
 }  // namespace rw::sim

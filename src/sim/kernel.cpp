@@ -16,6 +16,14 @@ const char* queue_policy_name(QueuePolicy p) {
   return "?";
 }
 
+const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::kSequential: return "seq";
+    case ExecMode::kParallel: return "par";
+  }
+  return "?";
+}
+
 Kernel::Kernel(const KernelConfig& cfg) : cfg_(cfg) {
   if (cfg_.bucket_width_log2 >= 32 || cfg_.num_buckets_log2 >= 24)
     throw std::invalid_argument("KernelConfig: wheel parameters too large");
@@ -206,6 +214,21 @@ void Kernel::run_until(TimePs t) {
     step();
   }
   if (now_ < t && !stop_requested_) now_ = t;
+}
+
+std::uint64_t Kernel::run_window(TimePs limit, bool live_only) {
+  std::uint64_t n = 0;
+  while (!stop_requested_ && size_ > 0 && (!live_only || live_ > 0) &&
+         next_event_time() <= limit) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void Kernel::advance_to(TimePs t) {
+  assert(size_ == 0 || next_event_time() >= t);
+  if (t > now_) now_ = t;
 }
 
 Kernel::~Kernel() {

@@ -43,6 +43,16 @@ enum class QueuePolicy { kCalendar, kBinaryHeap };
 
 [[nodiscard]] const char* queue_policy_name(QueuePolicy p);
 
+/// How Platform::run() drives a tile-partitioned platform (num_tiles > 1):
+/// kSequential iterates the tiles' epoch windows on the calling thread,
+/// kParallel runs one worker thread per tile. Both modes execute the
+/// identical conservative-lookahead epoch algorithm (see parallel.hpp), so
+/// the choice is never observable in simulation results — only in wall
+/// clock. Sequential stays the default reference path.
+enum class ExecMode { kSequential, kParallel };
+
+[[nodiscard]] const char* exec_mode_name(ExecMode m);
+
 struct KernelConfig {
   QueuePolicy policy = QueuePolicy::kCalendar;
   /// Calendar bucket width is 2^bucket_width_log2 picoseconds and the
@@ -53,6 +63,13 @@ struct KernelConfig {
   /// hit the wheel, multi-us compute blocks spill and migrate on rebase.
   std::uint32_t bucket_width_log2 = 12;
   std::uint32_t num_buckets_log2 = 10;
+  /// Tile partitioning (see parallel.hpp). num_tiles == 1 keeps the single
+  /// sequential kernel; > 1 makes the Platform build one kernel instance
+  /// per tile and drive them through the conservative TiledEngine.
+  /// validate_tiling() rejects num_tiles > core count and platforms whose
+  /// fabric config yields a zero cross-tile lookahead.
+  ExecMode exec = ExecMode::kSequential;
+  std::uint32_t num_tiles = 1;
 };
 
 /// Central event queue and simulated clock.
@@ -95,6 +112,19 @@ class Kernel {
 
   /// Run events with timestamp <= `t`, then set now to `t`.
   void run_until(TimePs t);
+
+  /// One epoch window of the tiled engine: execute events with timestamp
+  /// <= `limit` in (time, priority, seq) order. With `live_only` the
+  /// window additionally stops once no live events remain (run()'s
+  /// termination rule); without it daemons keep executing up to the limit
+  /// (run_until()'s rule). Honours request_stop() but — unlike run() —
+  /// never clears it: the engine owns the stop flag across windows.
+  /// Returns the number of events executed.
+  std::uint64_t run_window(TimePs limit, bool live_only);
+
+  /// Advance the clock to `t` without executing anything (the tiled
+  /// engine's run_until() epilogue). Pre: no pending event earlier than t.
+  void advance_to(TimePs t);
 
   /// Ask run()/run_until() to return after the current event.
   void request_stop() { stop_requested_ = true; }

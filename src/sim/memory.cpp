@@ -28,6 +28,14 @@ RegionId MemorySystem::add_region(std::string name, Addr base,
   return regions_.back().id;
 }
 
+void MemorySystem::set_region_context(RegionId id, std::uint32_t tile,
+                                      Kernel* clock, Tracer* trace) {
+  Region& r = regions_.at(id.index());
+  r.tile = tile;
+  r.clock = clock;
+  r.trace = trace;
+}
+
 const Region* MemorySystem::find_region(Addr a) const {
   for (const auto& r : regions_)
     if (a >= r.base && a < r.base + r.size) return &r;
@@ -43,21 +51,39 @@ Region& MemorySystem::region_for(Addr a, std::uint64_t len, CoreId core,
                                  bool is_write) {
   for (auto& r : regions_) {
     if (!r.contains(a, len)) continue;
+    // Under tiled execution a region is only reachable from cores on its
+    // own tile: the tiles' clocks are not ordered inside an epoch, so a
+    // cross-tile load/store would have no defined timestamp (use a
+    // TileLink or DMA through the fabric instead).
+    if (!core_tiles_.empty() && core.is_valid() &&
+        core.index() < core_tiles_.size() &&
+        core_tiles_[core.index()] != r.tile) {
+      throw std::logic_error(strformat(
+          "cross-tile memory access: core%u (tile %u) touched %s (tile %u)",
+          core.value(), core_tiles_[core.index()], r.name.c_str(), r.tile));
+    }
     if (enforce_locality_ && r.is_local() && core.is_valid() &&
         r.owner != core) {
-      ++locality_violations_;
-      tracer_.record(kernel_.now(),
-                     is_write ? TraceKind::kMemWrite : TraceKind::kMemRead,
-                     core, "LOCALITY_VIOLATION:" + r.name, a, len);
+      locality_violations_.fetch_add(1, std::memory_order_relaxed);
+      tracer_of(r).record(clock_of(r).now(),
+                          is_write ? TraceKind::kMemWrite : TraceKind::kMemRead,
+                          core, "LOCALITY_VIOLATION:" + r.name, a, len);
       throw std::runtime_error(strformat(
           "locality violation: core%u accessed %s (owned by core%u)",
           core.value(), r.name.c_str(), r.owner.value()));
     }
     return r;
   }
-  tracer_.record(kernel_.now(),
-                 is_write ? TraceKind::kMemWrite : TraceKind::kMemRead, core,
-                 "ILLEGAL_ACCESS", a, len);
+  // An unmapped access has no region and hence no tile context; recording
+  // it on the tile-0 tracer is only safe when the caller is tile 0 (the
+  // throw below terminates the run either way).
+  const bool tile0 = core_tiles_.empty() || !core.is_valid() ||
+                     core.index() >= core_tiles_.size() ||
+                     core_tiles_[core.index()] == 0;
+  if (tile0)
+    tracer_.record(kernel_.now(),
+                   is_write ? TraceKind::kMemWrite : TraceKind::kMemRead, core,
+                   "ILLEGAL_ACCESS", a, len);
   throw std::out_of_range(
       strformat("illegal access to unmapped address 0x%llx (%llu bytes)",
                 static_cast<unsigned long long>(a),
@@ -73,47 +99,51 @@ std::uint64_t MemorySystem::read_u64(CoreId core, Addr a) {
   Region& r = region_for(a, 8, core, /*is_write=*/false);
   std::uint64_t v = 0;
   std::memcpy(&v, r.bytes.data() + (a - r.base), 8);
-  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemRead, core, r.name, a,
+                      v);
   count_access(r, core, /*is_write=*/false, 8);
-  notify(MemAccess{kernel_.now(), core, a, 8, false, v});
+  notify(MemAccess{clock_of(r).now(), core, a, 8, false, v});
   return v;
 }
 
 void MemorySystem::write_u64(CoreId core, Addr a, std::uint64_t v) {
   Region& r = region_for(a, 8, core, /*is_write=*/true);
   std::memcpy(r.bytes.data() + (a - r.base), &v, 8);
-  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemWrite, core, r.name, a,
+                      v);
   count_access(r, core, /*is_write=*/true, 8);
-  notify(MemAccess{kernel_.now(), core, a, 8, true, v});
+  notify(MemAccess{clock_of(r).now(), core, a, 8, true, v});
 }
 
 std::uint32_t MemorySystem::read_u32(CoreId core, Addr a) {
   Region& r = region_for(a, 4, core, /*is_write=*/false);
   std::uint32_t v = 0;
   std::memcpy(&v, r.bytes.data() + (a - r.base), 4);
-  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a, v);
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemRead, core, r.name, a,
+                      v);
   count_access(r, core, /*is_write=*/false, 4);
-  notify(MemAccess{kernel_.now(), core, a, 4, false, v});
+  notify(MemAccess{clock_of(r).now(), core, a, 4, false, v});
   return v;
 }
 
 void MemorySystem::write_u32(CoreId core, Addr a, std::uint32_t v) {
   Region& r = region_for(a, 4, core, /*is_write=*/true);
   std::memcpy(r.bytes.data() + (a - r.base), &v, 4);
-  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a, v);
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemWrite, core, r.name, a,
+                      v);
   count_access(r, core, /*is_write=*/true, 4);
-  notify(MemAccess{kernel_.now(), core, a, 4, true, v});
+  notify(MemAccess{clock_of(r).now(), core, a, 4, true, v});
 }
 
 void MemorySystem::read_block(CoreId core, Addr a,
                               std::span<std::uint8_t> out) {
   Region& r = region_for(a, out.size(), core, /*is_write=*/false);
   std::memcpy(out.data(), r.bytes.data() + (a - r.base), out.size());
-  tracer_.record(kernel_.now(), TraceKind::kMemRead, core, r.name, a,
-                 out.size());
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemRead, core, r.name, a,
+                      out.size());
   count_access(r, core, /*is_write=*/false,
                static_cast<std::uint32_t>(out.size()));
-  notify(MemAccess{kernel_.now(), core, a,
+  notify(MemAccess{clock_of(r).now(), core, a,
                    static_cast<std::uint32_t>(out.size()), false, 0});
 }
 
@@ -121,11 +151,11 @@ void MemorySystem::write_block(CoreId core, Addr a,
                                std::span<const std::uint8_t> in) {
   Region& r = region_for(a, in.size(), core, /*is_write=*/true);
   std::memcpy(r.bytes.data() + (a - r.base), in.data(), in.size());
-  tracer_.record(kernel_.now(), TraceKind::kMemWrite, core, r.name, a,
-                 in.size());
+  tracer_of(r).record(clock_of(r).now(), TraceKind::kMemWrite, core, r.name, a,
+                      in.size());
   count_access(r, core, /*is_write=*/true,
                static_cast<std::uint32_t>(in.size()));
-  notify(MemAccess{kernel_.now(), core, a,
+  notify(MemAccess{clock_of(r).now(), core, a,
                    static_cast<std::uint32_t>(in.size()), true, 0});
 }
 

@@ -9,6 +9,7 @@
 // another core's local memory.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -38,6 +39,14 @@ struct Region {
   Cycles access_latency = 1;   // cycles per access at the accessing core
   CoreId owner{};              // valid => core-local scratchpad
   std::vector<std::uint8_t> bytes;
+
+  /// Tile partition (parallel.hpp): the region's state belongs to one
+  /// tile, and accesses are timestamped/traced on that tile's kernel and
+  /// tracer. Null clock/trace means tile 0 — the MemorySystem's own
+  /// kernel and tracer — which is every region on an untiled platform.
+  std::uint32_t tile = 0;
+  Kernel* clock = nullptr;
+  Tracer* trace = nullptr;
 
   [[nodiscard]] bool contains(Addr a, std::uint64_t len) const {
     return a >= base && a + len <= base + size;
@@ -80,7 +89,7 @@ class MemorySystem {
   /// locality violation: the access is counted and (configurably) faulted.
   void set_enforce_locality(bool on) { enforce_locality_ = on; }
   [[nodiscard]] std::uint64_t locality_violations() const {
-    return locality_violations_;
+    return locality_violations_.load(std::memory_order_relaxed);
   }
 
   /// Typed accessors. Addresses must fall inside a mapped region; access
@@ -114,9 +123,28 @@ class MemorySystem {
   /// poke/peek are loader back-doors and are deliberately not counted.
   void set_perf_sink(PerfSink* sink) { perf_ = sink; }
 
+  /// Tile partition plumbing (set by Platform when num_tiles > 1).
+  /// set_region_context() rebinds a region to a tile's kernel/tracer;
+  /// set_core_tiles() installs the core -> tile map that arms the
+  /// cross-tile access guard: a core touching a region on another tile is
+  /// a programming error under conservative sync (the tiles' clocks are
+  /// not ordered inside an epoch), so the access throws. The shared
+  /// region stays on tile 0 and is only reachable from tile-0 cores.
+  void set_region_context(RegionId id, std::uint32_t tile, Kernel* clock,
+                          Tracer* trace);
+  void set_core_tiles(std::vector<std::uint32_t> tiles) {
+    core_tiles_ = std::move(tiles);
+  }
+
  private:
   Region& region_for(Addr a, std::uint64_t len, CoreId core, bool is_write);
   void notify(const MemAccess& acc);
+  [[nodiscard]] Kernel& clock_of(const Region& r) const {
+    return r.clock != nullptr ? *r.clock : kernel_;
+  }
+  [[nodiscard]] Tracer& tracer_of(const Region& r) const {
+    return r.trace != nullptr ? *r.trace : tracer_;
+  }
   void count_access(const Region& r, CoreId core, bool is_write,
                     std::uint32_t bytes) {
     if (perf_)
@@ -129,8 +157,11 @@ class MemorySystem {
   PerfSink* perf_ = nullptr;
   std::vector<Region> regions_;
   std::vector<Observer> observers_;
+  std::vector<std::uint32_t> core_tiles_;  // empty == untiled, no guard
   bool enforce_locality_ = false;
-  std::uint64_t locality_violations_ = 0;
+  // Atomic only because two tiles may fault locally at the same instant;
+  // the count itself stays deterministic (each tile's faults are).
+  std::atomic<std::uint64_t> locality_violations_{0};
 };
 
 }  // namespace rw::sim

@@ -22,31 +22,57 @@ PlatformConfig PlatformConfig::heterogeneous(std::size_t riscs,
   return cfg;
 }
 
+Status PlatformConfig::validate() const { return validate_tiling(*this); }
+
 Platform::Platform(PlatformConfig cfg)
     : cfg_(std::move(cfg)), kernel_(cfg_.kernel), memory_(kernel_, tracer_) {
   if (cfg_.cores.empty())
     throw std::invalid_argument("platform needs at least one core");
+  if (const Status st = cfg_.validate(); !st.ok())
+    throw std::invalid_argument(st.error().message);
 
   tracer_.set_enabled(cfg_.trace_enabled);
+
+  const std::uint32_t tiles = cfg_.kernel.num_tiles;
+  for (std::uint32_t t = 1; t < tiles; ++t) {
+    // Every tile runs the same KernelConfig — the queue-policy identity
+    // contract holds per tile exactly as it does for the whole platform.
+    extra_kernels_.push_back(std::make_unique<Kernel>(cfg_.kernel));
+    extra_tracers_.push_back(std::make_unique<Tracer>());
+    extra_tracers_.back()->set_enabled(cfg_.trace_enabled);
+  }
 
   for (std::size_t i = 0; i < cfg_.cores.size(); ++i) {
     const auto& cc = cfg_.cores[i];
     const CoreId id{static_cast<std::uint32_t>(i)};
-    cores_.push_back(
-        std::make_unique<Core>(kernel_, tracer_, id, cc.cls, cc.frequency));
+    cores_.push_back(std::make_unique<Core>(tile_kernel(cc.tile),
+                                            tile_tracer(cc.tile), id, cc.cls,
+                                            cc.frequency));
     if (cc.scratchpad_bytes > 0) {
       if (cc.scratchpad_bytes > kScratchpadStride)
         throw std::invalid_argument("scratchpad exceeds memory-map stride");
-      memory_.add_region(strformat("spm%zu", i), scratchpad_base(id),
-                         cc.scratchpad_bytes, cfg_.scratchpad_latency, id);
+      const RegionId rid =
+          memory_.add_region(strformat("spm%zu", i), scratchpad_base(id),
+                             cc.scratchpad_bytes, cfg_.scratchpad_latency, id);
+      if (cc.tile != 0)
+        memory_.set_region_context(rid, cc.tile, &tile_kernel(cc.tile),
+                                   &tile_tracer(cc.tile));
     }
   }
 
   if (cfg_.shared_mem_bytes > 0) {
+    // The shared region stays on tile 0; the cross-tile guard makes it
+    // reachable only from tile-0 cores on a tiled platform.
     memory_.add_region("shared", kSharedBase, cfg_.shared_mem_bytes,
                        cfg_.shared_mem_latency);
   }
   memory_.set_enforce_locality(cfg_.enforce_locality);
+  if (tiles > 1) {
+    std::vector<std::uint32_t> core_tiles;
+    core_tiles.reserve(cfg_.cores.size());
+    for (const auto& cc : cfg_.cores) core_tiles.push_back(cc.tile);
+    memory_.set_core_tiles(std::move(core_tiles));
+  }
 
   switch (cfg_.interconnect) {
     case PlatformConfig::Icn::kSharedBus:
@@ -63,6 +89,36 @@ Platform::Platform(PlatformConfig cfg)
   dma_ = std::make_unique<DmaEngine>(kernel_, tracer_, memory_, icn_.get(),
                                      *irqc_, kIrqDma);
   hwsem_ = std::make_unique<HwSemaphores>(kernel_, tracer_);
+
+  if (tiles > 1) {
+    std::vector<Kernel*> tile_kernels;
+    tile_kernels.reserve(tiles);
+    for (std::uint32_t t = 0; t < tiles; ++t)
+      tile_kernels.push_back(&tile_kernel(t));
+    engine_ = std::make_unique<TiledEngine>(
+        std::move(tile_kernels), min_cross_tile_latency(cfg_),
+        TiledEngine::Options{cfg_.kernel.exec, /*force_threads=*/false});
+  }
+}
+
+void Platform::run(std::uint64_t max_events) {
+  if (engine_) {
+    engine_->run(max_events);
+  } else {
+    kernel_.run(max_events);
+  }
+}
+
+void Platform::run_until(TimePs t) {
+  if (engine_) {
+    engine_->run_until(t);
+  } else {
+    kernel_.run_until(t);
+  }
+}
+
+TimePs Platform::now() const {
+  return engine_ ? engine_->now() : kernel_.now();
 }
 
 std::vector<Peripheral*> Platform::peripherals() {

@@ -9,10 +9,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/result.hpp"
 #include "sim/core.hpp"
 #include "sim/interconnect.hpp"
 #include "sim/kernel.hpp"
 #include "sim/memory.hpp"
+#include "sim/parallel.hpp"
 #include "sim/peripherals.hpp"
 #include "sim/trace.hpp"
 
@@ -23,6 +25,9 @@ struct PlatformConfig {
     PeClass cls = PeClass::kRisc;
     HertzT frequency = mhz(400);
     std::uint64_t scratchpad_bytes = 64 * 1024;
+    /// Tile the core (and its scratchpad) belongs to when
+    /// kernel.num_tiles > 1; must be < num_tiles (validate()).
+    std::uint32_t tile = 0;
   };
 
   std::vector<CoreCfg> cores;
@@ -42,6 +47,12 @@ struct PlatformConfig {
 
   bool enforce_locality = false;
   bool trace_enabled = false;
+
+  /// Typed validation of the tiling parameters (kernel.num_tiles vs the
+  /// core list, per-core tile indices, fabric lookahead). The Platform
+  /// constructor enforces this; callers that want an error value instead
+  /// of a throw check it first.
+  [[nodiscard]] Status validate() const;
 
   /// Homogeneous platform: `n` identical RISC cores (Sec. II's preferred
   /// architecture).
@@ -71,6 +82,30 @@ class Platform {
   [[nodiscard]] Kernel& kernel() { return kernel_; }
   [[nodiscard]] Tracer& tracer() { return tracer_; }
   [[nodiscard]] MemorySystem& memory() { return memory_; }
+
+  /// Tile partition (kernel.num_tiles > 1). Tile 0 is the platform's
+  /// primary kernel/tracer — on an untiled platform it is the only one,
+  /// and engine() is nullptr.
+  [[nodiscard]] std::size_t tile_count() const {
+    return 1 + extra_kernels_.size();
+  }
+  [[nodiscard]] Kernel& tile_kernel(std::uint32_t t) {
+    return t == 0 ? kernel_ : *extra_kernels_.at(t - 1);
+  }
+  [[nodiscard]] Tracer& tile_tracer(std::uint32_t t) {
+    return t == 0 ? tracer_ : *extra_tracers_.at(t - 1);
+  }
+  [[nodiscard]] std::uint32_t tile_of_core(std::size_t i) const {
+    return cfg_.cores.at(i).tile;
+  }
+  [[nodiscard]] TiledEngine* engine() { return engine_.get(); }
+
+  /// Run the platform: the tiled engine when one exists, the plain kernel
+  /// otherwise. Use these instead of kernel().run()/run_until() in code
+  /// that must work on any num_tiles. now() is the max of the tile clocks.
+  void run(std::uint64_t max_events = UINT64_MAX);
+  void run_until(TimePs t);
+  [[nodiscard]] TimePs now() const;
   [[nodiscard]] Interconnect& interconnect() { return *icn_; }
   [[nodiscard]] InterruptController& irqc() { return *irqc_; }
   [[nodiscard]] TimerPeripheral& timer() { return *timer_; }
@@ -105,6 +140,10 @@ class Platform {
   PlatformConfig cfg_;
   Kernel kernel_;
   Tracer tracer_;
+  // Kernels/tracers of tiles 1..N-1 (tile 0 is kernel_/tracer_ above).
+  // Declared before memory_ and cores_, which hold pointers into them.
+  std::vector<std::unique_ptr<Kernel>> extra_kernels_;
+  std::vector<std::unique_ptr<Tracer>> extra_tracers_;
   MemorySystem memory_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::unique_ptr<Interconnect> icn_;
@@ -112,6 +151,7 @@ class Platform {
   std::unique_ptr<TimerPeripheral> timer_;
   std::unique_ptr<DmaEngine> dma_;
   std::unique_ptr<HwSemaphores> hwsem_;
+  std::unique_ptr<TiledEngine> engine_;  // only when kernel.num_tiles > 1
 };
 
 }  // namespace rw::sim

@@ -3,6 +3,7 @@
 namespace rw::vpdebug {
 namespace {
 
+constexpr std::uint64_t kFnvInit = 1469598103934665603ULL;
 constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
 
 std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
@@ -24,18 +25,43 @@ std::uint64_t fold_str(std::uint64_t h, const std::string& s) {
 }  // namespace
 
 ExecutionRecorder::ExecutionRecorder(sim::Platform& platform) {
-  platform.tracer().add_listener(
-      [this](const sim::TraceEvent& ev) { fold(ev); });
+  slots_.resize(platform.tile_count());
+  for (std::size_t t = 0; t < slots_.size(); ++t) {
+    platform.tile_tracer(static_cast<std::uint32_t>(t))
+        .add_listener(
+            [this, t](const sim::TraceEvent& ev) { fold(t, ev); });
+  }
 }
 
-void ExecutionRecorder::fold(const sim::TraceEvent& ev) {
-  ++count_;
-  hash_ = fold_u64(hash_, ev.time);
-  hash_ = fold_u64(hash_, static_cast<std::uint64_t>(ev.kind));
-  hash_ = fold_u64(hash_, ev.core.is_valid() ? ev.core.value() : ~0ULL);
-  hash_ = fold_str(hash_, ev.label);
-  hash_ = fold_u64(hash_, ev.a);
-  hash_ = fold_u64(hash_, ev.b);
+std::uint64_t ExecutionRecorder::fingerprint() const {
+  // One tile: exactly the historical single-stream digest.
+  if (slots_.size() == 1) return slots_[0].hash;
+  // Many tiles: combine (tile, digest, count) in tile order. Counts are
+  // folded so a tile swallowing another's events cannot cancel out.
+  std::uint64_t h = kFnvInit;
+  for (std::size_t t = 0; t < slots_.size(); ++t) {
+    h = fold_u64(h, t);
+    h = fold_u64(h, slots_[t].hash);
+    h = fold_u64(h, slots_[t].count);
+  }
+  return h;
+}
+
+std::uint64_t ExecutionRecorder::events() const {
+  std::uint64_t n = 0;
+  for (const Slot& s : slots_) n += s.count;
+  return n;
+}
+
+void ExecutionRecorder::fold(std::size_t tile, const sim::TraceEvent& ev) {
+  Slot& s = slots_[tile];
+  ++s.count;
+  s.hash = fold_u64(s.hash, ev.time);
+  s.hash = fold_u64(s.hash, static_cast<std::uint64_t>(ev.kind));
+  s.hash = fold_u64(s.hash, ev.core.is_valid() ? ev.core.value() : ~0ULL);
+  s.hash = fold_str(s.hash, ev.label);
+  s.hash = fold_u64(s.hash, ev.a);
+  s.hash = fold_u64(s.hash, ev.b);
 }
 
 }  // namespace rw::vpdebug

@@ -6,28 +6,49 @@
 // the full trace-event stream into a fingerprint; two runs replay
 // identically iff their fingerprints match — which is how the tests and
 // experiment E9 *prove* determinism instead of asserting it.
+//
+// On a tiled platform (KernelConfig::num_tiles > 1) the recorder keeps one
+// fold per tile — each tile's trace stream is totally ordered by its own
+// kernel, while the interleaving *between* tiles is exactly what parallel
+// execution does not fix. The per-tile digests are combined in tile order
+// into one canonical fingerprint, which is therefore identical across
+// ExecMode::kSequential and kParallel and across reruns. With one tile the
+// fingerprint is bit-for-bit the classic single-stream fold.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/platform.hpp"
 
 namespace rw::vpdebug {
 
 /// FNV-1a-folded digest of every trace event (time, kind, core, label,
-/// payloads) plus the event count.
+/// payloads) plus the event count, canonicalized per tile.
 class ExecutionRecorder {
  public:
   explicit ExecutionRecorder(sim::Platform& platform);
 
-  [[nodiscard]] std::uint64_t fingerprint() const { return hash_; }
-  [[nodiscard]] std::uint64_t events() const { return count_; }
+  /// Canonical digest: the tile-0 fold on an untiled platform, the
+  /// tile-ordered combination of per-tile (digest, count) otherwise.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  /// Total trace events folded, across all tiles.
+  [[nodiscard]] std::uint64_t events() const;
+
+  [[nodiscard]] std::size_t tile_count() const { return slots_.size(); }
+  [[nodiscard]] std::uint64_t tile_fingerprint(std::size_t t) const {
+    return slots_.at(t).hash;
+  }
 
  private:
-  void fold(const sim::TraceEvent& ev);
-  std::uint64_t hash_ = 1469598103934665603ULL;
-  std::uint64_t count_ = 0;
+  struct Slot {
+    std::uint64_t hash = 1469598103934665603ULL;
+    std::uint64_t count = 0;
+  };
+
+  void fold(std::size_t tile, const sim::TraceEvent& ev);
+  std::vector<Slot> slots_;  // one per tile; each written by one tile only
 };
 
 /// Convenience: run `scenario` twice on freshly-built platforms and

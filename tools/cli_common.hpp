@@ -29,6 +29,11 @@ struct CommonOptions {
   bool write_files = true;   // cleared by --no-files
   std::uint64_t seed = 1;    // --seed S
   std::string out_dir = ".";  // --out-dir DIR (also --out=DIR)
+  /// --threads N: simulation-kernel tile partitions. 1 (the default) is
+  /// the sequential reference kernel; N > 1 runs the conservative tiled
+  /// engine in parallel mode. Results are bit-identical for every value —
+  /// the flag only changes wall-clock time.
+  std::uint32_t threads = 1;
 };
 
 /// Numeric value following flag `args[i]`; advances `i` past it.
@@ -71,6 +76,10 @@ inline Result<bool> parse_common_flag(const std::vector<std::string>& args,
   } else if (a.rfind("--out=", 0) == 0) {
     opts.out_dir = a.substr(6);
     if (opts.out_dir.empty()) opts.out_dir = ".";
+  } else if (a == "--threads") {
+    const std::uint64_t t = RW_TRY(arg_u64(args, i, a));
+    if (t == 0) return make_error("--threads must be at least 1");
+    opts.threads = static_cast<std::uint32_t>(t);
   } else {
     return false;
   }
@@ -80,7 +89,7 @@ inline Result<bool> parse_common_flag(const std::vector<std::string>& args,
 /// The usage fragment for the shared flags, for per-tool --help text.
 inline const char* common_usage() {
   return "[--list] [--json] [--legacy-json] [--no-files] [--seed S]"
-         " [--out-dir DIR]";
+         " [--out-dir DIR] [--threads N]";
 }
 
 /// Wrap a pre-rendered legacy tool document in the rw-tool-1 envelope:
