@@ -1,0 +1,31 @@
+// Helpers shared by the experiment benches.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace rw::bench {
+
+/// Zero every wall-clock field of `result` — the scenario total and each
+/// run — and drop the extras derived from them (throughputs, millisecond
+/// mirrors), so the exported JSON document is byte-identical across
+/// reruns. Timing stays on stdout and in the process's gate exit code.
+inline harness::ScenarioResult scrub_wall_clock(
+    harness::ScenarioResult result,
+    const std::vector<std::string>& derived_extras = {"events_per_sec",
+                                                      "wall_ms"}) {
+  result.wall_ns = 0;
+  for (harness::RunRecord& r : result.runs) {
+    r.metrics.wall_ns = 0;
+    std::erase_if(r.metrics.extra, [&](const auto& kv) {
+      return std::find(derived_extras.begin(), derived_extras.end(),
+                       kv.first) != derived_extras.end();
+    });
+  }
+  return result;
+}
+
+}  // namespace rw::bench

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "harness/harness.hpp"
@@ -551,14 +552,7 @@ int main(int argc, char** argv) {
   // Scrub the nondeterministic wall-clock fields (and the throughputs
   // derived from them) so the exported document is byte-identical across
   // reruns — the timing lives on stdout and in this process's gates.
-  harness::ScenarioResult scrubbed = result;
-  scrubbed.wall_ns = 0;
-  for (harness::RunRecord& r : scrubbed.runs) {
-    r.metrics.wall_ns = 0;
-    std::erase_if(r.metrics.extra, [](const auto& kv) {
-      return kv.first == "events_per_sec" || kv.first == "wall_ms";
-    });
-  }
+  const harness::ScenarioResult scrubbed = bench::scrub_wall_clock(result);
   if (const auto s = harness::write_json("BENCH_kernel.json", {scrubbed});
       !s.ok())
     std::printf("warning: %s\n", s.error().to_string().c_str());

@@ -1,16 +1,21 @@
-// Minimal JSON emission for machine-readable experiment output.
+// Minimal JSON emission and parsing for machine-readable experiment I/O.
 //
 // The benches and the harness export BENCH_*.json files that downstream
 // tooling (plots, regression tracking) can parse without scraping ASCII
-// tables. Emission only — this repo never needs to parse JSON, so there is
-// no reader half. Output is deterministic: keys appear in insertion order
-// and doubles render with enough digits to round-trip.
+// tables; the fuzz campaign closes the loop by reading shrunk cases and
+// fault plans back in (rwfault --plan, rwfuzz --replay). Output is
+// deterministic: keys appear in insertion order and doubles render with
+// enough digits to round-trip. The reader keeps each number's raw token so
+// 64-bit integers (picosecond timestamps, addresses) survive a
+// parse/re-emit cycle byte-for-byte.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.hpp"
 
 namespace rw::json {
 
@@ -66,5 +71,70 @@ class Writer {
   bool pretty_;
   bool after_key_ = false;
 };
+
+/// Parsed JSON value tree. Object members keep document order, so a
+/// parse/re-emit round trip of a Writer document is byte-stable.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool boolean() const { return bool_; }
+  [[nodiscard]] double number() const { return number_; }
+  /// The number's raw source token (e.g. "18446744073709551615"), exact
+  /// where a double round trip would not be.
+  [[nodiscard]] const std::string& raw_number() const { return text_; }
+  /// Integer value parsed from the raw token; falls back to a double cast
+  /// for tokens with a fraction or exponent. `ok` (optional) reports
+  /// whether the token was a plain non-negative integer.
+  [[nodiscard]] std::uint64_t u64(bool* ok = nullptr) const;
+  [[nodiscard]] const std::string& string() const { return text_; }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const Value& at(std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+
+  using Member = std::pair<std::string, Value>;
+  [[nodiscard]] const std::vector<Member>& members() const {
+    return members_;
+  }
+  /// Object member by key, or nullptr when absent / not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+
+  // Typed member lookups with fallbacks — the shape every schema loader
+  // in this repo needs: missing key or wrong type -> fallback.
+  [[nodiscard]] std::uint64_t get_u64(std::string_view key,
+                                      std::uint64_t fallback = 0) const;
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string_view fallback = "") const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const;
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string text_;           // string value, or raw number token
+  std::vector<Value> items_;   // array elements
+  std::vector<Member> members_;  // object members, document order
+};
+
+/// Parse a complete JSON document. Errors carry 1-based line:column.
+/// Strict: no comments, no trailing commas, no trailing garbage.
+Result<Value> parse(std::string_view text);
 
 }  // namespace rw::json

@@ -1,6 +1,8 @@
 #include "fault/driver.hpp"
 
 #include <fstream>
+#include <iterator>
+#include <optional>
 
 #include "common/json.hpp"
 #include "common/strings.hpp"
@@ -71,6 +73,7 @@ void write_config(json::Writer& w, const FaultOptions& opts) {
   w.key("rate_per_ms").value(opts.rate_per_ms);
   w.key("crashes_only").value(opts.crashes_only);
   w.key("watchdog_timeout_ps").value(opts.watchdog_timeout);
+  if (!opts.plan_path.empty()) w.key("plan_path").value(opts.plan_path);
   w.end_object();
 }
 
@@ -126,10 +129,14 @@ Result<FaultOptions> parse_fault_args(const std::vector<std::string>& args) {
       opts.watchdog_timeout = microseconds(RW_TRY(cli::arg_u64(args, i, a)));
       if (opts.watchdog_timeout == 0)
         return make_error("--timeout-us must be >= 1");
+    } else if (a == "--plan") {
+      if (i + 1 >= args.size()) return make_error("--plan requires a file");
+      opts.plan_path = args[++i];
     } else if (a == "--help" || a == "-h") {
       return make_error(std::string("usage: rwfault ") + cli::common_usage() +
                         " [--mesh] [--crashes-only] [--cores N] [--items K]"
-                        " [--rate R] [--timeout-us U] [policy...]");
+                        " [--rate R] [--timeout-us U] [--plan FILE]"
+                        " [policy...]");
     } else if (!a.empty() && a[0] == '-') {
       return make_error("unknown option: " + a);
     } else {
@@ -176,6 +183,26 @@ FaultReport run_fault(const FaultOptions& opts, std::ostream& out) {
     return rep;
   }
 
+  std::optional<FaultPlan> explicit_plan;
+  if (!opts.plan_path.empty()) {
+    std::ifstream f(opts.plan_path, std::ios::binary);
+    if (!f) {
+      out << "error: cannot read " << opts.plan_path << "\n";
+      rep.exit_code = 2;
+      return rep;
+    }
+    const std::string text{std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>()};
+    auto parsed = FaultPlan::from_json(text);
+    if (!parsed.ok()) {
+      out << "error: " << opts.plan_path << ": "
+          << parsed.error().to_string() << "\n";
+      rep.exit_code = 2;
+      return rep;
+    }
+    explicit_plan = std::move(parsed.value());
+  }
+
   std::vector<RecoveryPolicy> policies = opts.policies;
   if (policies.empty())
     policies = {RecoveryPolicy::kNone, RecoveryPolicy::kWatchdogRestart,
@@ -184,7 +211,9 @@ FaultReport run_fault(const FaultOptions& opts, std::ostream& out) {
   for (RecoveryPolicy policy : policies) {
     PolicyOutcome po;
     po.policy = policy;
-    po.outcome = run_fault_scenario(scenario_config(opts, policy));
+    ScenarioConfig cfg = scenario_config(opts, policy);
+    if (explicit_plan) cfg.explicit_plan = &*explicit_plan;
+    po.outcome = run_fault_scenario(cfg);
     if (opts.write_files) {
       po.json_path = opts.out_dir + "/FAULT_" +
                      std::string(recovery_policy_name(policy)) + ".json";

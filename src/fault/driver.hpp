@@ -25,6 +25,9 @@ struct FaultOptions : cli::CommonOptions {
   std::uint64_t rate_per_ms = 50;        // --rate R (faults per sim ms)
   bool crashes_only = false;             // --crashes-only
   DurationPs watchdog_timeout = microseconds(50);  // --timeout-us U
+  /// --plan FILE: replay an explicit rw-fault-plan-1 schedule (e.g. one
+  /// exported by rwfuzz) instead of drawing the random plan.
+  std::string plan_path;
 };
 
 /// Parse rwfault's argv (without argv[0]).

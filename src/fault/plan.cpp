@@ -21,6 +21,17 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
+bool fault_kind_from_name(std::string_view name, FaultKind& out) {
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (name == fault_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 FaultPlan& FaultPlan::crash_core(TimePs t, std::uint32_t core) {
   return add({t, FaultKind::kCoreCrash, core, 0, 0});
 }
@@ -84,7 +95,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
   Rng rng(seed);
   const double mean_gap_ps = 1e9 / spec.rate_per_ms;  // 1 ms = 1e9 ps
 
-  const std::uint32_t weights[] = {
+  std::uint32_t weights[] = {
       spec.weight_crash,
       spec.weight_stall,
       spec.weight_degrade,
@@ -94,6 +105,8 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
       spec.weight_irq_drop,
       spec.weight_irq_spurious,
   };
+  for (std::size_t i = 0; i < kNumFaultKinds; ++i)
+    if (!spec.kind_enabled(static_cast<FaultKind>(i))) weights[i] = 0;
   std::uint64_t total = 0;
   for (const auto w : weights) total += w;
   if (total == 0 || spec.num_cores == 0) return plan;
@@ -151,8 +164,55 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const RandomSpec& spec) {
   return plan;
 }
 
+Result<FaultPlan> FaultPlan::from_json(std::string_view text) {
+  const json::Value doc = RW_TRY(json::parse(text));
+  return from_json_value(doc);
+}
+
+Result<FaultPlan> FaultPlan::from_json_value(const json::Value& doc) {
+  if (!doc.is_object())
+    return make_error("fault plan: document is not an object");
+  if (const std::string schema = doc.get_string("schema");
+      schema != "rw-fault-plan-1")
+    return make_error("fault plan: unsupported schema '" + schema + "'");
+  const json::Value* events = doc.get("events");
+  if (events == nullptr || !events->is_array())
+    return make_error("fault plan: missing events array");
+
+  FaultPlan plan;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& ev = events->at(i);
+    const std::string where = "fault plan: event " + std::to_string(i);
+    if (!ev.is_object()) return make_error(where + " is not an object");
+    FaultEvent e;
+    const json::Value* kind = ev.get("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        !fault_kind_from_name(kind->string(), e.kind))
+      return make_error(where + ": unknown kind");
+    for (const char* field : {"time_ps", "target", "a", "b"}) {
+      const json::Value* v = ev.get(field);
+      bool integral = false;
+      if (v != nullptr && v->is_number()) v->u64(&integral);
+      if (!integral)
+        return make_error(where + ": field '" + field +
+                          "' missing or not an integer");
+    }
+    e.time = static_cast<TimePs>(ev.get_u64("time_ps"));
+    e.target = static_cast<std::uint32_t>(ev.get_u64("target"));
+    e.a = ev.get_u64("a");
+    e.b = ev.get_u64("b");
+    plan.add(e);
+  }
+  return plan;
+}
+
 std::string FaultPlan::to_json() const {
   json::Writer w;
+  write_json(w);
+  return w.str();
+}
+
+void FaultPlan::write_json(json::Writer& w) const {
   w.begin_object();
   w.key("schema").value("rw-fault-plan-1");
   w.key("events").begin_array();
@@ -167,7 +227,6 @@ std::string FaultPlan::to_json() const {
   }
   w.end_array();
   w.end_object();
-  return w.str();
 }
 
 }  // namespace rw::fault

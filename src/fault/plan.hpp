@@ -14,8 +14,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/result.hpp"
 #include "common/units.hpp"
 
 namespace rw::fault {
@@ -33,6 +36,21 @@ enum class FaultKind : std::uint8_t {
 };
 
 const char* fault_kind_name(FaultKind k);
+
+/// Number of FaultKind enumerators (the enum is dense from 0).
+inline constexpr std::size_t kNumFaultKinds = 8;
+
+/// Inverse of fault_kind_name(); false when `name` matches no kind.
+bool fault_kind_from_name(std::string_view name, FaultKind& out);
+
+/// Bit for kind `k` in a per-kind enable mask.
+inline constexpr std::uint32_t fault_kind_bit(FaultKind k) {
+  return 1u << static_cast<std::uint32_t>(k);
+}
+
+/// Mask with every fault kind enabled.
+inline constexpr std::uint32_t kAllFaultKinds =
+    (1u << kNumFaultKinds) - 1;
 
 /// Whole-fabric target marker for kLinkDegrade.
 inline constexpr std::uint32_t kFabricWide = UINT32_MAX;
@@ -66,6 +84,21 @@ struct RandomSpec {
   std::uint32_t weight_dma_abort = 1;
   std::uint32_t weight_irq_drop = 1;
   std::uint32_t weight_irq_spurious = 1;
+
+  /// Per-kind enable mask (bit = fault_kind_bit(kind)), ANDed over the
+  /// weights above. Lets a caller keep the weight profile but restrict a
+  /// plan to chosen kinds — the fuzz coverage matrix uses single-kind
+  /// masks to target never-hit cells deterministically.
+  std::uint32_t kind_mask = kAllFaultKinds;
+
+  [[nodiscard]] bool kind_enabled(FaultKind k) const {
+    return (kind_mask & fault_kind_bit(k)) != 0;
+  }
+  /// Restrict the plan to exactly one kind (weights still apply).
+  RandomSpec& only_kind(FaultKind k) {
+    kind_mask = fault_kind_bit(k);
+    return *this;
+  }
 };
 
 /// Ordered fault schedule. Builder calls append; events() returns them
@@ -100,6 +133,18 @@ class FaultPlan {
 
   /// Deterministic JSON (schema rw-fault-plan-1).
   [[nodiscard]] std::string to_json() const;
+  /// Emit the rw-fault-plan-1 object into an open writer, for documents
+  /// that nest a plan (rw-fuzz-case-1). to_json() is this plus nothing.
+  void write_json(json::Writer& w) const;
+
+  /// Inverse of to_json(). Accepts any rw-fault-plan-1 document; the
+  /// round trip plan -> to_json -> from_json -> to_json is byte-stable
+  /// (events re-sort identically because to_json already emits them in
+  /// armed order). Unknown kinds or malformed fields are errors — a
+  /// committed repro must not silently lose events.
+  static Result<FaultPlan> from_json(std::string_view text);
+  /// As from_json(), over an already-parsed rw-fault-plan-1 object.
+  static Result<FaultPlan> from_json_value(const json::Value& doc);
 
  private:
   std::vector<FaultEvent> events_;

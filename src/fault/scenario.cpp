@@ -14,6 +14,7 @@
 #include "sim/interconnect.hpp"
 #include "sim/platform.hpp"
 #include "sim/process.hpp"
+#include "vpdebug/replay.hpp"
 
 namespace rw::fault {
 namespace {
@@ -38,6 +39,9 @@ struct RunCtx {
   std::uint64_t items_dropped = 0;
   TimePs finish_time = 0;
   bool finished = false;
+  std::vector<bool> seen;           // delivered-id set, sized items
+  std::uint64_t alien_items = 0;     // delivered id not in [0, items)
+  std::uint64_t duplicate_items = 0;  // delivered id seen twice
 
   [[nodiscard]] bool timed() const {
     return cfg.policy != RecoveryPolicy::kNone;
@@ -165,6 +169,15 @@ sim::Process sink_proc(RunCtx& ctx) {
     }
     if (item == kEndOfStream) break;
     ++ctx.items_done;
+    // Conservation bookkeeping: every delivered id must be one we offered,
+    // exactly once. Anything else means a bug fabricated or replayed data.
+    if (item >= ctx.cfg.items) {
+      ++ctx.alien_items;
+    } else if (ctx.seen[item]) {
+      ++ctx.duplicate_items;
+    } else {
+      ctx.seen[item] = true;
+    }
     if (ctx.wdt) ctx.wdt->kick();
     if (ctx.sup) ctx.sup->note_progress();
   }
@@ -173,12 +186,82 @@ sim::Process sink_proc(RunCtx& ctx) {
   if (ctx.sup) ctx.sup->finish();
 }
 
+/// Passive observation sink pairing every compute-block retirement with
+/// the reservation that issued it. Two checks:
+///
+///  * exact pairing — a correct kernel retires each block at exactly its
+///    reserved finish with its reserved cycle count;
+///  * no overtaken retirement — a valid (tag-checked) end event implies
+///    the core never crashed between its reservation's issue and its
+///    retirement, and since only Core::fail() rewinds busy_until_, every
+///    reservation issued *after* it on that core must start at or after
+///    the retired finish. A stale end event revalidated against a
+///    re-issued block (the PR 5 bug class) breaks exactly this: it
+///    retires the pre-crash reservation while the post-restart re-issue
+///    — issued later, starting inside the abandoned window — is still
+///    outstanding. Issue order matters: a crash can also abandon a
+///    not-yet-started reservation whose stall-inflated start lies inside
+///    the window of the restart's legitimately-retired re-issue, but
+///    that abandoned block was issued *before* the retired one, so it is
+///    exempt.
+class IntegritySink final : public sim::PerfSink {
+ public:
+  void on_core_reserve(sim::CoreId core, Cycles cycles, TimePs start,
+                       TimePs finish, HertzT freq) override {
+    (void)freq;
+    reservations_.push_back({core.index(), start, finish, cycles, false});
+  }
+  void on_compute_block(sim::CoreId core, const std::string& label,
+                        Cycles cycles, TimePs start,
+                        TimePs finish) override {
+    (void)label;
+    std::size_t match = reservations_.size();
+    for (std::size_t i = 0; i < reservations_.size(); ++i) {
+      const Reservation& r = reservations_[i];
+      if (!r.retired && r.core == core.index() && r.start == start) {
+        match = i;
+        break;
+      }
+    }
+    if (match == reservations_.size()) {
+      ++violations_;  // retired a block that was never reserved
+      return;
+    }
+    reservations_[match].retired = true;
+    if (reservations_[match].finish != finish ||
+        reservations_[match].cycles != cycles) {
+      ++violations_;
+    }
+    for (std::size_t i = match + 1; i < reservations_.size(); ++i) {
+      const Reservation& j = reservations_[i];
+      if (!j.retired && j.core == core.index() && j.start > start &&
+          j.start < finish) {
+        ++violations_;  // overtaken: a newer window opened mid-block
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  struct Reservation {
+    std::size_t core;
+    TimePs start;
+    TimePs finish;
+    Cycles cycles;
+    bool retired;
+  };
+  std::vector<Reservation> reservations_;
+  std::uint64_t violations_ = 0;
+};
+
 /// One full pipeline run under `plan`. `num_links_out`, when non-null,
 /// receives the platform's NoC link count (0 on a bus) so the caller can
 /// size per-link faults in the random plan.
 ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
                         std::size_t* num_links_out) {
   sim::PlatformConfig pc = sim::PlatformConfig::homogeneous(cfg.cores);
+  pc.kernel.policy = cfg.queue;
   if (cfg.threads > 1) {
     pc.kernel.num_tiles = static_cast<std::uint32_t>(
         std::min<std::size_t>(cfg.threads, cfg.cores));
@@ -216,19 +299,42 @@ ScenarioOutcome run_one(const ScenarioConfig& cfg, const FaultPlan& plan,
   }
 
   RunCtx ctx{plat, cfg, sup.get(), wdt.get(), {}};
+  ctx.seen.assign(cfg.items, false);
   for (std::size_t i = 0; i <= cfg.cores; ++i)
     ctx.chans.push_back(std::make_unique<ItemChannel>(
         plat.kernel(), 4, "e14.ch" + std::to_string(i)));
 
+  vpdebug::ExecutionRecorder recorder(plat);
+  IntegritySink integrity;
+  plat.set_perf_sink(&integrity);
   spawn(plat.kernel(), source_proc(ctx));
   for (std::size_t s = 0; s < cfg.cores; ++s)
     spawn(plat.kernel(), stage_proc(ctx, s));
   spawn(plat.kernel(), sink_proc(ctx));
   plat.run(kMaxEvents);
+  plat.set_perf_sink(nullptr);
 
   ScenarioOutcome out;
   out.items_target = cfg.items;
   out.items_done = ctx.items_done;
+  out.alien_items = ctx.alien_items;
+  out.duplicate_items = ctx.duplicate_items;
+  for (const auto& ch : ctx.chans) {
+    out.chan_sent += ch->total_sent();
+    out.chan_received += ch->total_received();
+    out.chan_buffered += ch->size();
+  }
+  // Tile-0 digest, not the canonical multi-tile combination: the scenario
+  // keeps every actor on tile 0, so this digest is identical for every
+  // `threads` value — the combined form folds the tile count itself and
+  // would differ between threads=1 and threads>1 builds of the same run.
+  out.trace_fingerprint = recorder.tile_fingerprint(0);
+  out.compute_integrity_violations = integrity.violations();
+  std::uint64_t executed = 0;
+  for (std::size_t t = 0; t < plat.tile_count(); ++t)
+    executed += plat.tile_kernel(static_cast<std::uint32_t>(t))
+                    .events_executed();
+  out.hit_event_budget = executed >= kMaxEvents;
   out.goodput = cfg.items == 0 ? 1.0
                                : static_cast<double>(ctx.items_done) /
                                      static_cast<double>(cfg.items);
@@ -276,6 +382,11 @@ RunMetrics ScenarioOutcome::to_metrics() const {
               static_cast<double>(max_recovery_latency));
   m.set_extra("fault.healthy_makespan_ps",
               static_cast<double>(healthy_makespan));
+  m.set_extra("fault.alien_items", static_cast<double>(alien_items));
+  m.set_extra("fault.duplicate_items",
+              static_cast<double>(duplicate_items));
+  m.set_extra("fault.integrity_violations",
+              static_cast<double>(compute_integrity_violations));
   return m;
 }
 
@@ -315,15 +426,12 @@ ScenarioOutcome run_fault_scenario(const ScenarioConfig& cfg) {
     spec.num_links = static_cast<std::uint32_t>(num_links);
     spec.mem_base = sim::kSharedBase;
     spec.mem_size = sim::PlatformConfig{}.shared_mem_bytes;
+    spec.kind_mask = cfg.kind_mask;
     if (cfg.crashes_only) {
+      // Legacy spelling of only_kind(kCoreCrash); also flattens the
+      // weight so historical plans stay byte-identical.
       spec.weight_crash = 1;
-      spec.weight_stall = 0;
-      spec.weight_degrade = 0;
-      spec.weight_drop = 0;
-      spec.weight_bitflip = 0;
-      spec.weight_dma_abort = 0;
-      spec.weight_irq_drop = 0;
-      spec.weight_irq_spurious = 0;
+      spec.only_kind(FaultKind::kCoreCrash);
     }
     plan = FaultPlan::random(cfg.seed, spec);
   }

@@ -18,6 +18,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "fault/recovery.hpp"
+#include "sim/kernel.hpp"
 
 namespace rw::fault {
 
@@ -33,6 +34,15 @@ struct ScenarioConfig {
   RetryPolicy retry;                     // channel timeout/retry behaviour
   bool crashes_only = false;             // restrict the random plan to
                                          // core crashes (policy ablations)
+  /// Per-kind enable mask for the random plan (rw::fuzz targets
+  /// individual coverage cells with single-kind masks). crashes_only
+  /// above is the legacy spelling of only_kind(kCoreCrash) and wins
+  /// when set.
+  std::uint32_t kind_mask = kAllFaultKinds;
+  /// Event-queue policy for the simulation kernel. Outcomes and
+  /// timelines are bit-identical across policies — the fuzz oracle's
+  /// determinism.policy invariant checks exactly that.
+  sim::QueuePolicy queue = sim::QueuePolicy::kCalendar;
   /// When set, used instead of the random plan (rwfault --plan-* paths,
   /// directed tests). The random plan is windowed to twice the healthy
   /// makespan so faults land while work is actually in flight.
@@ -67,6 +77,32 @@ struct ScenarioOutcome {
   DurationPs max_recovery_latency = 0;
   DurationPs total_recovery_latency = 0;
   FaultTimeline timeline;
+
+  // Conservation accounting (the fuzz oracle's item-conservation
+  // invariant). The sink validates every delivered id against the offered
+  // set: an id outside [0, items_target) is alien (fabricated by a bug),
+  // a repeated id is a duplicate. Channel totals must satisfy
+  // sent == received + buffered at end of run.
+  std::uint64_t alien_items = 0;
+  std::uint64_t duplicate_items = 0;
+  std::uint64_t chan_sent = 0;      // sum over pipeline channels
+  std::uint64_t chan_received = 0;
+  std::uint64_t chan_buffered = 0;  // still enqueued at end of run
+
+  /// Compute blocks whose retirement did not match their reservation
+  /// (wrong finish time or wrong cycle count). Always 0 on a correct
+  /// kernel: a block retires exactly when and as it was reserved, and a
+  /// crash-invalidated block never retires at all. The fuzz oracle's
+  /// compute-integrity invariant — and the seeded-defect selftest's
+  /// detection signal.
+  std::uint64_t compute_integrity_violations = 0;
+
+  /// ExecutionRecorder digest of the faulted run's full trace stream —
+  /// canonical across queue policies, thread counts, and reruns.
+  std::uint64_t trace_fingerprint = 0;
+  /// True when the kernel stopped on the event budget instead of
+  /// draining (runaway/livelock guard tripped).
+  bool hit_event_budget = false;
 
   /// Flatten into harness metrics (extra keys prefixed "fault.").
   [[nodiscard]] RunMetrics to_metrics() const;

@@ -1,0 +1,95 @@
+// rw::fuzz — the campaign engine: seeds -> cases -> oracle -> report.
+//
+// run_campaign() sweeps `seeds` generated cases through the invariant
+// oracle on the rw::harness pool (same determinism contract: results are
+// bit-identical for any thread count), accounts coverage against the
+// reachable cell matrix, then fires a directed fill phase at any cell
+// the random sweep left dark. Each failing case is auto-shrunk to a
+// 1-minimal reproducer and packaged as a FailureReport carrying a
+// ready-to-commit gtest regression stub plus the replayable case JSON.
+//
+// The report's to_json() (schema rw-fuzz-campaign-1) is deterministic —
+// a pure function of the config — which is what lets bench_e19 assert
+// two independent campaign executions byte-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "fuzz/case.hpp"
+#include "fuzz/coverage.hpp"
+#include "fuzz/oracle.hpp"
+#include "harness/harness.hpp"
+
+namespace rw::fuzz {
+
+struct CampaignConfig {
+  std::uint64_t seeds = 1000;
+  std::uint64_t base_seed = 1;
+  /// Wall-clock cap in minutes; 0 = none. Checked between batches and
+  /// directed probes, so a cap never tears an individual case.
+  double minutes = 0.0;
+  bool shrink = true;
+  /// Floor every generator range (CI smoke: rwfuzz --tiny).
+  bool tiny = false;
+  /// After the random sweep, aim single-kind cases at unhit cells.
+  bool directed_fill = true;
+  std::size_t threads = 0;  // harness pool width; 0 = hardware
+  /// Stop the sweep after this many failing cases: shrinking is the
+  /// expensive part, and one campaign rarely needs more evidence.
+  std::size_t max_failures = 8;
+  std::uint32_t family_mask = 0;  // family_bit() mask; 0 = all
+};
+
+struct FailureReport {
+  std::uint64_t case_seed = 0;
+  CampaignCase original;
+  /// The violation the shrinker chased (the original's first).
+  Violation violation;
+  /// Everything the original tripped, in oracle order.
+  std::vector<Violation> violations;
+
+  bool shrunk = false;  // false when CampaignConfig::shrink was off
+  CampaignCase minimal;  // == original when !shrunk
+  std::size_t shrink_steps = 0;
+  std::size_t shrink_attempts = 0;
+  bool shrink_at_budget = false;
+
+  /// A self-contained gtest body reproducing the failure from the
+  /// minimal case's embedded JSON (rwfuzz writes it next to the case
+  /// file; paste into tests/ and link rw_fuzz).
+  [[nodiscard]] std::string regression_stub() const;
+};
+
+struct CampaignReport {
+  std::uint64_t cases = 0;           // oracle cases executed in total
+  std::uint64_t directed_cases = 0;  // of which from the fill phase
+  std::uint64_t sub_runs = 0;        // simulations under those cases
+  std::uint64_t faulted_cases = 0;   // cases with a non-empty plan
+  std::array<std::uint64_t, kNumFamilies> family_cases{};
+  std::uint64_t shrink_runs = 0;  // oracle evaluations spent shrinking
+  bool time_capped = false;
+
+  std::vector<FailureReport> failures;
+  CoverageMatrix coverage;
+
+  /// Raw harness results, one per sweep batch (wall_ns and all). The
+  /// E19 bench scrubs and byte-compares these across campaign reruns.
+  std::vector<harness::ScenarioResult> batches;
+
+  [[nodiscard]] bool green() const { return failures.empty(); }
+
+  /// Campaign totals, one metric per row.
+  [[nodiscard]] Table summary_table() const;
+
+  /// Deterministic document, schema rw-fuzz-campaign-1 (wall clocks and
+  /// batch records excluded).
+  [[nodiscard]] std::string to_json() const;
+};
+
+[[nodiscard]] CampaignReport run_campaign(const CampaignConfig& cfg = {});
+
+}  // namespace rw::fuzz

@@ -1,0 +1,49 @@
+// rw::fuzz — seed -> CampaignCase.
+//
+// Pure function: generate_case(seed, cfg) always returns the same case,
+// so a campaign is replayable from its base seed alone and any failing
+// case regenerates from the seed recorded in its report. The generator
+// draws the family by weight (the fault pipeline dominates — it is the
+// richest oracle and the one the seeded-defect selftest must reach),
+// sizes the platform small enough that thousands of seeds finish in
+// seconds, and materializes the fault plan up front (FaultPlan::random
+// windowed to an estimate of the healthy makespan) so the shrinker can
+// delete individual events.
+//
+// A DirectedTarget pins the axes of one coverage cell — family, fault
+// kind (single-kind RandomSpec mask), queue policy, exec mode — which is
+// how the campaign's fill phase lights up cells the random sweep missed.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/case.hpp"
+#include "fuzz/coverage.hpp"
+
+namespace rw::fuzz {
+
+/// Pin a case to one coverage cell (see CoverageCell for the axes).
+struct DirectedTarget {
+  Family family = Family::kPipeline;
+  int kind = CoverageCell::kFaultFree;
+  sim::QueuePolicy policy = sim::QueuePolicy::kCalendar;
+  bool parallel = false;
+};
+
+struct GeneratorConfig {
+  /// Shrink every range to its floor (CI smoke: --tiny).
+  bool tiny = false;
+  /// Restrict families (family_bit() mask); 0 = all.
+  std::uint32_t family_mask = 0;
+  /// When set, pin the case to this cell.
+  const DirectedTarget* target = nullptr;
+};
+
+/// Deterministic case for `seed`. A directed target is honoured exactly
+/// for family/policy/exec; the plan is single-kind but may come out
+/// empty for unlucky seeds (the campaign retries nearby seeds until the
+/// kind actually lands).
+[[nodiscard]] CampaignCase generate_case(std::uint64_t seed,
+                                         const GeneratorConfig& cfg = {});
+
+}  // namespace rw::fuzz

@@ -1,0 +1,189 @@
+#include "fuzz/shrink.hpp"
+
+#include <string>
+
+namespace rw::fuzz {
+namespace {
+
+/// Clamp every field to its documented floor so candidates are always
+/// valid cases (from_json would accept them).
+void sanitize(CampaignCase& c) {
+  if (c.cores < 2) c.cores = 2;
+  if (c.tiles < 1) c.tiles = 1;
+  if (c.tiles > c.cores) c.tiles = c.cores;
+  if (c.scale < 1) c.scale = 1;
+  if (c.items < 1) c.items = 1;
+  if (c.compute_cycles < 100) c.compute_cycles = 100;
+  if (c.graph_tasks < 2) c.graph_tasks = 2;
+  if (c.tenants < 1) c.tenants = 1;
+  if (c.jobs_per_tenant < 1) c.jobs_per_tenant = 1;
+}
+
+/// Rebuild the plan without events [begin, end) of the sorted order.
+fault::FaultPlan without_range(const fault::FaultPlan& plan,
+                               std::size_t begin, std::size_t end) {
+  fault::FaultPlan out;
+  const std::vector<fault::FaultEvent> evs = plan.events();
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    if (i < begin || i >= end) out.add(evs[i]);
+  return out;
+}
+
+class CandidateSet {
+ public:
+  explicit CandidateSet(const CampaignCase& orig)
+      : orig_key_(orig.to_json()) {}
+
+  void add(CampaignCase cand) {
+    sanitize(cand);
+    std::string key = cand.to_json();
+    if (key == orig_key_) return;  // clamping undid the reduction
+    for (const std::string& seen : keys_)
+      if (seen == key) return;
+    keys_.push_back(std::move(key));
+    out_.push_back(std::move(cand));
+  }
+
+  std::vector<CampaignCase> take() { return std::move(out_); }
+
+ private:
+  std::string orig_key_;
+  std::vector<std::string> keys_;
+  std::vector<CampaignCase> out_;
+};
+
+}  // namespace
+
+std::vector<CampaignCase> shrink_candidates(const CampaignCase& c) {
+  CandidateSet set(c);
+  const std::size_t n = c.plan.size();
+
+  // Plan events first: most failures hinge on one or two faults, so
+  // halving the plan converges in O(log n) accepted steps.
+  if (n >= 4) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      CampaignCase cand = c;
+      cand.plan = without_range(c.plan, q * n / 4, (q + 1) * n / 4);
+      set.add(std::move(cand));
+    }
+  }
+  if (n >= 2) {
+    for (const auto& [b, e] :
+         {std::pair<std::size_t, std::size_t>{0, n / 2}, {n / 2, n}}) {
+      CampaignCase cand = c;
+      cand.plan = without_range(c.plan, b, e);
+      set.add(std::move(cand));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    CampaignCase cand = c;
+    cand.plan = without_range(c.plan, i, i + 1);
+    set.add(std::move(cand));
+  }
+
+  // Structural simplifications: drop whole mechanisms before trimming
+  // counts, so the minimal case names only the machinery it needs.
+  if (c.recovery != fault::RecoveryPolicy::kNone) {
+    CampaignCase cand = c;
+    cand.recovery = fault::RecoveryPolicy::kNone;
+    set.add(std::move(cand));
+  }
+  if (c.recovery == fault::RecoveryPolicy::kWatchdogRemap) {
+    CampaignCase cand = c;
+    cand.recovery = fault::RecoveryPolicy::kWatchdogRestart;
+    set.add(std::move(cand));
+  }
+  if (c.mesh) {
+    CampaignCase cand = c;
+    cand.mesh = false;
+    set.add(std::move(cand));
+  }
+  if (c.queue != sim::QueuePolicy::kCalendar) {
+    CampaignCase cand = c;
+    cand.queue = sim::QueuePolicy::kCalendar;
+    set.add(std::move(cand));
+  }
+  if (c.tiles > 1) {
+    for (const std::uint32_t t : {1u, c.tiles / 2}) {
+      CampaignCase cand = c;
+      cand.tiles = t;
+      set.add(std::move(cand));
+    }
+  }
+  if (c.dynamic_mapper) {
+    CampaignCase cand = c;
+    cand.dynamic_mapper = false;
+    set.add(std::move(cand));
+  }
+  if (c.static_admission) {
+    CampaignCase cand = c;
+    cand.static_admission = false;
+    set.add(std::move(cand));
+  }
+
+  // Count axes: halve (fast) then decrement (the last unit of
+  // 1-minimality).
+  for (const std::uint32_t v : {c.cores / 2, c.cores - 1}) {
+    CampaignCase cand = c;
+    cand.cores = v;
+    set.add(std::move(cand));
+  }
+  for (const std::uint64_t v : {c.items / 2, c.items - 1}) {
+    CampaignCase cand = c;
+    cand.items = v;
+    set.add(std::move(cand));
+  }
+  {
+    CampaignCase cand = c;
+    cand.compute_cycles = c.compute_cycles / 2;
+    set.add(std::move(cand));
+  }
+  for (const std::uint64_t v : {c.scale / 2, c.scale - 1}) {
+    CampaignCase cand = c;
+    cand.scale = v;
+    set.add(std::move(cand));
+  }
+  for (const std::uint32_t v : {c.graph_tasks / 2, c.graph_tasks - 1}) {
+    CampaignCase cand = c;
+    cand.graph_tasks = v;
+    set.add(std::move(cand));
+  }
+  for (const std::uint32_t v : {c.tenants / 2, c.tenants - 1}) {
+    CampaignCase cand = c;
+    cand.tenants = v;
+    set.add(std::move(cand));
+  }
+  for (const std::uint32_t v : {c.jobs_per_tenant / 2, c.jobs_per_tenant - 1}) {
+    CampaignCase cand = c;
+    cand.jobs_per_tenant = v;
+    set.add(std::move(cand));
+  }
+  return set.take();
+}
+
+ShrinkResult shrink_case(const CampaignCase& c,
+                         const FailPredicate& still_fails,
+                         std::size_t max_attempts) {
+  ShrinkResult r;
+  r.minimal = c;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const CampaignCase& cand : shrink_candidates(r.minimal)) {
+      if (r.attempts >= max_attempts) {
+        r.at_budget = true;
+        return r;
+      }
+      ++r.attempts;
+      if (still_fails(cand)) {
+        r.minimal = cand;
+        ++r.steps;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace rw::fuzz

@@ -1,8 +1,33 @@
 #include "sim/core.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace rw::sim {
+
+namespace {
+// Armed state for the compiled-in seeded defect. Atomic so a campaign
+// running scenario fan-out on harness threads can read it racelessly;
+// it is only ever written between runs.
+std::atomic<bool> g_seeded_defect{false};
+}  // namespace
+
+bool seeded_defect_compiled() {
+#ifdef RW_SEEDED_DEFECT
+  return true;
+#else
+  return false;
+#endif
+}
+
+void set_seeded_defect(bool on) {
+  g_seeded_defect.store(on, std::memory_order_relaxed);
+}
+
+bool seeded_defect_enabled() {
+  return seeded_defect_compiled() &&
+         g_seeded_defect.load(std::memory_order_relaxed);
+}
 
 const char* pe_class_name(PeClass c) {
   switch (c) {

@@ -29,6 +29,24 @@ enum class PeClass : std::uint8_t { kRisc, kDsp, kVliw, kAsip, kAccel };
 
 const char* pe_class_name(PeClass c);
 
+// --- seeded-defect test hook (rw::fuzz selftest) ---------------------
+//
+// Compiling with -DRW_SEEDED_DEFECT (CMake option RW_SEEDED_DEFECT)
+// builds in a switchable regression of a PR 5 review fix: is_active()
+// drops its issue-tag comparison and validates pending compute events by
+// active_-membership alone, so a stale end event from before a crash can
+// revalidate against the re-issued block and complete it early. The fuzz
+// campaign's defect selftest proves the invariant oracle finds and
+// shrinks this within its seed budget. Release/tier-1 builds do not
+// define the macro: the hook compiles away entirely.
+
+/// True when the binary was compiled with the defect hook present.
+bool seeded_defect_compiled();
+/// Arm/disarm the defect at run time (no-op unless compiled in).
+void set_seeded_defect(bool on);
+/// Current arm state (always false unless compiled in and armed).
+bool seeded_defect_enabled();
+
 class Core {
  public:
   Core(Kernel& kernel, Tracer& tracer, CoreId id, PeClass cls, HertzT freq)
@@ -150,8 +168,15 @@ class Core {
   /// live, still carry the issue tag the event captured.
   [[nodiscard]] bool is_active(const ComputeAwaitable* aw,
                                std::uint64_t issue) const {
-    return std::find(active_.begin(), active_.end(), aw) != active_.end() &&
-           aw->issue == issue;
+    const bool member =
+        std::find(active_.begin(), active_.end(), aw) != active_.end();
+#ifdef RW_SEEDED_DEFECT
+    // Armed defect: membership alone, no tag — the exact pre-PR-5-fix
+    // validation. A stale end event whose block was re-issued on this
+    // core after a crash revalidates and completes the block early.
+    if (seeded_defect_enabled()) return member;
+#endif
+    return member && aw->issue == issue;
   }
 
   Kernel& kernel_;

@@ -1,0 +1,60 @@
+// rw::fuzz — the seeded-defect selftest. Builds with
+// -DRW_SEEDED_DEFECT=ON compile in the PR-5 compute-revalidation bug
+// behind a runtime switch; this test arms it, runs a bounded campaign,
+// and requires the fuzzer to find it, pin it to integrity.compute, and
+// shrink it. On stock builds the whole suite skips.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/campaign.hpp"
+#include "sim/core.hpp"
+
+namespace {
+
+using namespace rw;
+
+class SeededDefect : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!sim::seeded_defect_compiled())
+      GTEST_SKIP() << "build without RW_SEEDED_DEFECT";
+    sim::set_seeded_defect(true);
+  }
+  void TearDown() override {
+    if (sim::seeded_defect_compiled()) sim::set_seeded_defect(false);
+  }
+};
+
+TEST_F(SeededDefect, CampaignFindsShrinksAndStubsItWithin200Seeds) {
+  fuzz::CampaignConfig cfg;
+  cfg.seeds = 200;
+  cfg.max_failures = 1;  // one reproducer is the acceptance bar
+  const fuzz::CampaignReport report = fuzz::run_campaign(cfg);
+
+  ASSERT_FALSE(report.green()) << "defect armed but campaign stayed green";
+  const fuzz::FailureReport& f = report.failures.front();
+  EXPECT_EQ(f.violation.invariant, "integrity.compute");
+  EXPECT_TRUE(f.shrunk);
+  EXPECT_FALSE(f.shrink_at_budget);
+  EXPECT_GT(f.shrink_steps, 0u);
+  // The minimal case must still reproduce standalone — the same check
+  // the committed regression stub performs.
+  const fuzz::CaseOutcome outcome = fuzz::run_case(f.minimal);
+  EXPECT_TRUE(outcome.violates("integrity.compute"));
+
+  const std::string stub = f.regression_stub();
+  EXPECT_NE(stub.find("integrity.compute"), std::string::npos);
+  EXPECT_NE(stub.find("FuzzRegression"), std::string::npos);
+  EXPECT_NE(stub.find(std::to_string(f.case_seed)), std::string::npos);
+}
+
+TEST_F(SeededDefect, DisarmedRunsStayGreenInTheSameBuild) {
+  sim::set_seeded_defect(false);
+  fuzz::CampaignConfig cfg;
+  cfg.seeds = 50;
+  cfg.tiny = true;
+  EXPECT_TRUE(fuzz::run_campaign(cfg).green());
+}
+
+}  // namespace

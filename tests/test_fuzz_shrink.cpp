@@ -1,0 +1,116 @@
+// rw::fuzz — shrinker property tests, against synthetic predicates (no
+// simulation): the result must still satisfy the predicate it chased,
+// and must be 1-minimal over exactly the neighbourhood
+// shrink_candidates() enumerates.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "fuzz/case.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace {
+
+using namespace rw;
+
+fuzz::CampaignCase big_case() {
+  for (std::uint64_t s = 1; s < 256; ++s) {
+    fuzz::CampaignCase c = fuzz::generate_case(s);
+    if (c.family == fuzz::Family::kFaultPipeline && c.plan.size() >= 4 &&
+        c.cores >= 4)
+      return c;
+  }
+  ADD_FAILURE() << "no rich fault_pipeline case in 256 seeds";
+  return {};
+}
+
+/// Holds both halves of the shrink contract for `pred` on `c`.
+void expect_minimal(const fuzz::CampaignCase& c,
+                    const fuzz::FailPredicate& pred) {
+  ASSERT_TRUE(pred(c));
+  const fuzz::ShrinkResult r = fuzz::shrink_case(c, pred);
+  EXPECT_FALSE(r.at_budget);
+  // Same-predicate preservation.
+  EXPECT_TRUE(pred(r.minimal));
+  // 1-minimality: no single-step reduction of the result still fails.
+  for (const fuzz::CampaignCase& cand : fuzz::shrink_candidates(r.minimal))
+    EXPECT_FALSE(pred(cand)) << "reducible along: " << cand.summary();
+}
+
+TEST(FuzzShrink, CandidatesAreDistinctValidAndDeterministic) {
+  const fuzz::CampaignCase c = big_case();
+  const auto cands = fuzz::shrink_candidates(c);
+  ASSERT_FALSE(cands.empty());
+  const auto again = fuzz::shrink_candidates(c);
+  ASSERT_EQ(cands.size(), again.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_EQ(cands[i].to_json(), again[i].to_json());
+    EXPECT_NE(cands[i].to_json(), c.to_json());
+    // Floors hold on every candidate.
+    EXPECT_GE(cands[i].cores, 2u);
+    EXPECT_GE(cands[i].tiles, 1u);
+    EXPECT_LE(cands[i].tiles, cands[i].cores);
+    EXPECT_GE(cands[i].items, 1u);
+    EXPECT_GE(cands[i].graph_tasks, 2u);
+    EXPECT_GE(cands[i].tenants, 1u);
+    EXPECT_GE(cands[i].jobs_per_tenant, 1u);
+    EXPECT_GE(cands[i].scale, 1u);
+  }
+}
+
+TEST(FuzzShrink, FixpointIsOneMinimalForAPlanPredicate) {
+  // "Still fails" = the plan still contains a core_crash. Minimal should
+  // be a single-event plan with everything else at its floor.
+  const fuzz::CampaignCase c = big_case();
+  const fuzz::FailPredicate pred = [](const fuzz::CampaignCase& k) {
+    for (const fault::FaultEvent& e : k.plan.events())
+      if (e.kind == fault::FaultKind::kCoreCrash) return true;
+    return false;
+  };
+  if (!pred(c)) GTEST_SKIP() << "no crash event in the sampled plan";
+  expect_minimal(c, pred);
+  const fuzz::ShrinkResult r = fuzz::shrink_case(c, pred);
+  EXPECT_EQ(r.minimal.plan.size(), 1u);
+  EXPECT_EQ(r.minimal.cores, 2u);
+  EXPECT_EQ(r.minimal.items, 1u);
+}
+
+TEST(FuzzShrink, FixpointIsOneMinimalForAStructurePredicate) {
+  const fuzz::CampaignCase c = big_case();
+  expect_minimal(c, [](const fuzz::CampaignCase& k) { return k.cores >= 3; });
+  expect_minimal(c, [](const fuzz::CampaignCase& k) {
+    return k.items >= 2 && k.compute_cycles >= 200;
+  });
+}
+
+TEST(FuzzShrink, NonFailingInputReturnsUnchanged) {
+  const fuzz::CampaignCase c = big_case();
+  const fuzz::ShrinkResult r =
+      fuzz::shrink_case(c, [](const fuzz::CampaignCase&) { return false; });
+  EXPECT_EQ(r.minimal.to_json(), c.to_json());
+  EXPECT_EQ(r.steps, 0u);
+}
+
+TEST(FuzzShrink, BudgetStopsTheWalkAndIsReported) {
+  const fuzz::CampaignCase c = big_case();
+  const fuzz::ShrinkResult r = fuzz::shrink_case(
+      c, [](const fuzz::CampaignCase&) { return true; }, /*max_attempts=*/3);
+  EXPECT_TRUE(r.at_budget);
+  EXPECT_LE(r.attempts, 3u);
+}
+
+TEST(FuzzShrink, ShrinkIsDeterministic) {
+  const fuzz::CampaignCase c = big_case();
+  const fuzz::FailPredicate pred = [](const fuzz::CampaignCase& k) {
+    return k.cores >= 3 || k.plan.size() >= 2;
+  };
+  const fuzz::ShrinkResult a = fuzz::shrink_case(c, pred);
+  const fuzz::ShrinkResult b = fuzz::shrink_case(c, pred);
+  EXPECT_EQ(a.minimal.to_json(), b.minimal.to_json());
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.attempts, b.attempts);
+}
+
+}  // namespace

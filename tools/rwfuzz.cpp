@@ -1,0 +1,19 @@
+// rwfuzz: invariant-checked scenario fuzzing. Sweep generated cases
+// (platform x workload x fault plan x kernel policy) through the global
+// invariant oracle, auto-shrink any failure to a 1-minimal reproducer,
+// and account coverage over the family x kind x policy x exec matrix.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fuzz/driver.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = rw::fuzz::parse_fuzz_args(args);
+  if (!opts.ok()) {
+    std::cerr << opts.error().to_string() << "\n";
+    return 2;
+  }
+  return rw::fuzz::run_fuzz(opts.value(), std::cout).exit_code;
+}
